@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench exhibits extensions sweeps examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+exhibits:
+	dune exec bin/mtp_sim.exe -- all
+
+extensions:
+	dune exec bin/mtp_sim.exe -- extensions
+
+sweeps:
+	dune exec bin/mtp_sim.exe -- sweeps
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/innetwork_cache.exe
+	dune exec examples/multipath_blob.exe
+	dune exec examples/tenant_isolation.exe
+	dune exec examples/ml_aggregation.exe
+	dune exec examples/rpc_loadbalancer.exe
+	dune exec examples/ndp_incast.exe
+
+clean:
+	dune clean

@@ -1,0 +1,231 @@
+(* Command-line harness: regenerate any table or figure of the paper.
+
+   `mtp_sim <exhibit> [options]` prints the same rows/series the paper
+   reports; `--series` dumps raw (time, value) rows for plotting. *)
+
+open Cmdliner
+open Experiments
+
+let dump_series =
+  let doc = "Dump every (time_us, value) series row, not just summaries." in
+  Arg.(value & flag & info [ "series" ] ~doc)
+
+let seed =
+  let doc = "Random seed (experiments are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let duration_ms default =
+  let doc = "Simulated duration in milliseconds." in
+  Arg.(value & opt int default & info [ "duration-ms" ] ~doc)
+
+let csv_dir =
+  let doc = "Also write each series/table to CSV files in $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+(* The csv option is recorded as a side effect of argument evaluation
+   (before any command body runs) so every print path can honour it
+   without threading an extra parameter. *)
+let csv_target = ref None
+
+let output_opts =
+  Term.(
+    const (fun dump csv ->
+        csv_target := csv;
+        dump)
+    $ dump_series $ csv_dir)
+
+let print_result dump result =
+  Exp_common.print ~dump_series:dump Format.std_formatter result;
+  match !csv_target with
+  | Some dir ->
+    List.iter
+      (Format.printf "  wrote %s@.")
+      (Exp_common.write_csv ~dir result)
+  | None -> ()
+
+(* ------------------------------- fig2 ------------------------------ *)
+
+let fig2_cmd =
+  let run dump seed duration rwnd_kb =
+    let config =
+      { Fig2_proxy.default with
+        Fig2_proxy.seed;
+        duration = Engine.Time.ms duration;
+        rwnd_limit = rwnd_kb * 1000 }
+    in
+    print_result dump (Fig2_proxy.result ~config ())
+  in
+  let rwnd =
+    Arg.(value & opt int 256
+         & info [ "rwnd-kb" ] ~doc:"Receive-window cap (KB) of the limited variant.")
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"TCP termination: proxy buffering vs HOL blocking")
+    Term.(const run $ output_opts $ seed $ duration_ms 4 $ rwnd)
+
+(* ------------------------------- fig3 ------------------------------ *)
+
+let fig3_cmd =
+  let run dump seed duration hosts chains =
+    let config =
+      { Fig3_one_rpf.default with
+        Fig3_one_rpf.seed;
+        duration = Engine.Time.ms duration;
+        hosts;
+        chains_per_host = chains }
+    in
+    print_result dump (Fig3_one_rpf.result ~config ())
+  in
+  let hosts =
+    Arg.(value & opt int 4 & info [ "hosts" ] ~doc:"Sender/receiver pairs.")
+  in
+  let chains =
+    Arg.(value & opt int 1
+         & info [ "chains" ] ~doc:"Concurrent message chains per host.")
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"One request per flow breaks congestion control")
+    Term.(const run $ output_opts $ seed $ duration_ms 3 $ hosts $ chains)
+
+(* ------------------------------- fig5 ------------------------------ *)
+
+let fig5_cmd =
+  let run dump seed duration flip_us =
+    let config =
+      { Fig5_multipath.default with
+        Fig5_multipath.seed;
+        duration = Engine.Time.ms duration;
+        flip_interval = Engine.Time.us flip_us }
+    in
+    print_result dump (Fig5_multipath.result ~config ())
+  in
+  let flip =
+    Arg.(value & opt int 384
+         & info [ "flip-us" ] ~doc:"Path alternation period (us).")
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Multipath congestion control under path alternation")
+    Term.(const run $ output_opts $ seed $ duration_ms 8 $ flip)
+
+(* ------------------------------- fig6 ------------------------------ *)
+
+let fig6_cmd =
+  let run dump seed duration max_mb load =
+    let config =
+      { Fig6_loadbalance.default with
+        Fig6_loadbalance.seed;
+        duration = Engine.Time.ms duration;
+        max_message = max_mb * 1_000_000;
+        load }
+    in
+    print_result dump (Fig6_loadbalance.result ~config ())
+  in
+  let max_mb =
+    Arg.(value & opt int 16
+         & info [ "max-mb" ]
+             ~doc:"Cap (MB) on the 10KB-1GB skewed size mix; raise toward \
+                   1000 for the paper's full range (slow).")
+  in
+  let load =
+    Arg.(value & opt float 0.5 & info [ "load" ] ~doc:"Offered load fraction.")
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Load- and request-aware load balancing (tail FCT)")
+    Term.(const run $ output_opts $ seed $ duration_ms 200 $ max_mb $ load)
+
+(* ------------------------------- fig7 ------------------------------ *)
+
+let fig7_cmd =
+  let run dump seed duration sources =
+    let config =
+      { Fig7_isolation.default with
+        Fig7_isolation.seed;
+        duration = Engine.Time.ms duration;
+        tenant2_sources = sources }
+    in
+    print_result dump (Fig7_isolation.result ~config ())
+  in
+  let sources =
+    Arg.(value & opt int 8
+         & info [ "tenant2-sources" ] ~doc:"Tenant 2's source count (paper: 8x).")
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Per-entity isolation on a shared queue")
+    Term.(const run $ output_opts $ seed $ duration_ms 20 $ sources)
+
+(* ------------------------------ table1 ----------------------------- *)
+
+let table1_cmd =
+  let run dump = print_result dump (Table1_features.result ()) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Transport feature matrix with live demos")
+    Term.(const run $ output_opts)
+
+let features_cmd =
+  let run () = Format.printf "%a" Stats.Table.pp (Mtp.Features.table ()) in
+  Cmd.v
+    (Cmd.info "features" ~doc:"Print the feature matrix only (no demos)")
+    Term.(const run $ const ())
+
+(* ---------------------------- extensions --------------------------- *)
+
+let extensions_cmd =
+  let run dump =
+    print_result dump (Ablation_pathlets.result ());
+    print_result dump (Ablation_algorithms.result ());
+    print_result dump (Ablation_trimming.result ());
+    print_result dump (Ablation_exclusion.result ());
+    print_result dump (Ablation_acks.result ());
+    print_result dump (Header_overhead.result ());
+    print_result dump (Coexistence.result ());
+    print_result dump (Ext_leafspine.result ())
+  in
+  Cmd.v
+    (Cmd.info "extensions"
+       ~doc:
+         "Ablations and section-4 discussion experiments: pathlet \
+          granularity, multi-algorithm CC, NDP trimming, path exclusion, \
+          header overhead, TCP coexistence")
+    Term.(const run $ output_opts)
+
+(* ------------------------------ sweeps ----------------------------- *)
+
+let sweeps_cmd =
+  let run dump =
+    print_result dump (Sweeps.fig5_result ());
+    print_result dump (Sweeps.fig6_result ())
+  in
+  Cmd.v
+    (Cmd.info "sweeps"
+       ~doc:
+         "Parameter sweeps: Fig 5 vs alternation frequency, Fig 6 vs \
+          offered load")
+    Term.(const run $ output_opts)
+
+(* -------------------------------- all ------------------------------ *)
+
+let all_cmd =
+  let run dump =
+    print_result dump (Table1_features.result ());
+    print_result dump (Fig2_proxy.result ());
+    print_result dump (Fig3_one_rpf.result ());
+    print_result dump (Fig5_multipath.result ());
+    print_result dump (Fig6_loadbalance.result ());
+    print_result dump (Fig7_isolation.result ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every exhibit with default configurations")
+    Term.(const run $ output_opts)
+
+let () =
+  let info =
+    Cmd.info "mtp_sim" ~version:"1.0"
+      ~doc:
+        "Reproduce the evaluation of 'TCP is Harmful to In-Network \
+         Computing: Designing a Message Transport Protocol' (HotNets'21)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd;
+            features_cmd; extensions_cmd; sweeps_cmd; all_cmd ]))

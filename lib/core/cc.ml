@@ -1,0 +1,193 @@
+type algo =
+  | Aimd
+  | Dctcp of { g : float }
+  | Rcp
+  | Swift of { target : Engine.Time.t }
+
+type t = {
+  algo : algo;
+  c_mss : int;
+  mutable cwnd : float; (* bytes *)
+  mutable ssthresh : float;
+  (* DCTCP *)
+  mutable alpha : float;
+  mutable acked_win : int;
+  mutable marked_win : int;
+  mutable win_end : Engine.Time.t;
+  (* RCP *)
+  mutable rate_grant_mbps : int option;
+  (* RTT estimation *)
+  mutable srtt_ns : float; (* < 0: no sample *)
+  mutable rttvar_ns : float;
+  (* Once-per-RTT decrease guard & congestion recency *)
+  mutable last_decrease : Engine.Time.t;
+  mutable last_congested : Engine.Time.t;
+}
+
+let default_srtt = 100_000.0 (* 100 us before any sample *)
+
+let create ?init_window ?(mss = 1440) algo =
+  let init =
+    match init_window with Some w -> float_of_int w | None -> float_of_int (10 * mss)
+  in
+  (* A large negative sentinel that cannot overflow [now - sentinel]. *)
+  let never = -1_000_000_000_000_000 in
+  { algo; c_mss = mss; cwnd = init; ssthresh = infinity; alpha = 1.0;
+    acked_win = 0; marked_win = 0; win_end = 0; rate_grant_mbps = None;
+    srtt_ns = -1.0; rttvar_ns = 0.0; last_decrease = never;
+    last_congested = never }
+
+let algo t = t.algo
+
+let mss t = t.c_mss
+
+let mssf t = float_of_int t.c_mss
+
+let srtt t =
+  if t.srtt_ns < 0.0 then int_of_float default_srtt
+  else int_of_float t.srtt_ns
+
+let rto t =
+  let base =
+    if t.srtt_ns < 0.0 then 2.0 *. default_srtt
+    else t.srtt_ns +. (4.0 *. Float.max t.rttvar_ns (t.srtt_ns /. 4.0))
+  in
+  max 50_000 (int_of_float base)
+
+let observe_rtt t sample =
+  let r = float_of_int sample in
+  if t.srtt_ns < 0.0 then begin
+    t.srtt_ns <- r;
+    t.rttvar_ns <- r /. 2.0
+  end
+  else begin
+    t.rttvar_ns <-
+      (0.75 *. t.rttvar_ns) +. (0.25 *. Float.abs (t.srtt_ns -. r));
+    t.srtt_ns <- (0.875 *. t.srtt_ns) +. (0.125 *. r)
+  end
+
+let srtt_span t = max 10_000 (srtt t)
+
+let can_decrease t ~now = now - t.last_decrease >= srtt_span t
+
+let multiplicative_decrease t ~now factor =
+  if can_decrease t ~now then begin
+    t.cwnd <- Float.max (mssf t) (t.cwnd *. factor);
+    t.ssthresh <- t.cwnd;
+    t.last_decrease <- now
+  end
+
+let additive_increase t acked =
+  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. float_of_int acked
+  else t.cwnd <- t.cwnd +. (mssf t *. float_of_int acked /. t.cwnd)
+
+let dctcp_window_turnover t ~now g =
+  if now >= t.win_end && t.acked_win > 0 then begin
+    let f = float_of_int t.marked_win /. float_of_int t.acked_win in
+    t.alpha <- ((1.0 -. g) *. t.alpha) +. (g *. f);
+    if t.marked_win > 0 then begin
+      t.cwnd <- Float.max (mssf t) (t.cwnd *. (1.0 -. (t.alpha /. 2.0)));
+      t.ssthresh <- t.cwnd;
+      t.last_decrease <- now
+    end;
+    t.acked_win <- 0;
+    t.marked_win <- 0;
+    t.win_end <- now + srtt_span t
+  end
+
+let feedback_congested fbs =
+  List.exists Feedback.is_congested fbs
+
+let on_ack t ~now ~acked ?rtt fbs =
+  (match rtt with Some r -> observe_rtt t r | None -> ());
+  if feedback_congested fbs then t.last_congested <- now;
+  (* A trim is an unambiguous overload signal (the network discarded
+     payload): cut immediately, whatever the algorithm — NDP-style. *)
+  if List.mem Feedback.Trimmed fbs then begin
+    if t.ssthresh = infinity then t.ssthresh <- t.cwnd;
+    multiplicative_decrease t ~now 0.5
+  end;
+  match t.algo with
+  | Aimd ->
+    let congested =
+      List.exists
+        (function
+          | Feedback.Ecn b -> b
+          | Feedback.Trimmed -> true
+          | Feedback.Queue _ | Feedback.Rate _ | Feedback.Delay _ -> false)
+        fbs
+    in
+    if congested then begin
+      (* Leave slow start on the first signal, then halve at most once
+         per RTT. *)
+      if t.ssthresh = infinity then t.ssthresh <- t.cwnd;
+      multiplicative_decrease t ~now 0.5
+    end
+    else additive_increase t acked
+  | Dctcp { g } ->
+    let marked =
+      List.exists
+        (function
+          | Feedback.Ecn b -> b
+          | Feedback.Trimmed | Feedback.Queue _ | Feedback.Rate _
+          | Feedback.Delay _ ->
+            false (* trims were handled above *))
+        fbs
+    in
+    t.acked_win <- t.acked_win + acked;
+    if marked then begin
+      t.marked_win <- t.marked_win + acked;
+      if t.ssthresh = infinity then t.ssthresh <- t.cwnd
+    end;
+    if not marked then additive_increase t acked;
+    dctcp_window_turnover t ~now g
+  | Rcp ->
+    List.iter
+      (function
+        | Feedback.Rate mbps -> t.rate_grant_mbps <- Some mbps
+        | Feedback.Ecn _ | Feedback.Queue _ | Feedback.Delay _
+        | Feedback.Trimmed ->
+          ())
+      fbs;
+    (* Between grants, grow conservatively so an idle grant does not
+       freeze a cold start. *)
+    if t.rate_grant_mbps = None then additive_increase t acked
+  | Swift { target } ->
+    let delay =
+      List.fold_left
+        (fun acc fb ->
+          match fb with
+          | Feedback.Delay d -> max acc d
+          | Feedback.Ecn _ | Feedback.Queue _ | Feedback.Rate _
+          | Feedback.Trimmed ->
+            acc)
+        (match rtt with
+        | Some r -> max 0 (r - (2 * srtt_span t / 3))
+        | None -> 0)
+        fbs
+    in
+    if delay > target then begin
+      let over = float_of_int (delay - target) /. float_of_int delay in
+      if t.ssthresh = infinity then t.ssthresh <- t.cwnd;
+      multiplicative_decrease t ~now (Float.max 0.5 (1.0 -. (0.8 *. over)))
+    end
+    else additive_increase t acked
+
+let on_loss t ~now =
+  t.last_congested <- now;
+  t.ssthresh <- Float.max (t.cwnd /. 2.0) (2.0 *. mssf t);
+  t.cwnd <- mssf t;
+  t.last_decrease <- now
+
+let window t =
+  match t.algo, t.rate_grant_mbps with
+  | Rcp, Some mbps ->
+    (* rate (Mbps) * srtt (ns) / 8000 = bytes per RTT. *)
+    let bytes =
+      float_of_int mbps *. float_of_int (srtt_span t) /. 8000.0
+    in
+    max t.c_mss (int_of_float bytes)
+  | (Aimd | Dctcp _ | Rcp | Swift _), _ -> max t.c_mss (int_of_float t.cwnd)
+
+let congested t ~now =
+  t.last_congested >= 0 && now - t.last_congested <= 2 * srtt_span t

@@ -1,0 +1,55 @@
+(** Per-pathlet congestion controllers.
+
+    One instance evolves the congestion state of a single
+    [(pathlet, traffic class)] pair (paper §3.1.3).  Because feedback
+    is typed ({!Feedback.t}), instances running different algorithms
+    coexist on one path: a DCTCP hop marks, an RCP hop grants rates, a
+    Swift-style endpoint watches delay — each entry is dispatched to
+    the controller of the pathlet that produced it. *)
+
+type algo =
+  | Aimd  (** Reno-style: slow start + AIMD, halve on congestion. *)
+  | Dctcp of { g : float }
+      (** Alpha-proportional decrease from ECN mark fraction. *)
+  | Rcp
+      (** Explicit rate: the window tracks the latest {!Feedback.Rate}
+          grant times the smoothed RTT. *)
+  | Swift of { target : Engine.Time.t }
+      (** Delay-based: decrease when fabric delay exceeds [target]. *)
+
+type t
+
+val create : ?init_window:int -> ?mss:int -> algo -> t
+(** [init_window] defaults to 10 [mss]; [mss] to 1440 payload bytes. *)
+
+val algo : t -> algo
+
+val on_ack :
+  t ->
+  now:Engine.Time.t ->
+  acked:int ->
+  ?rtt:Engine.Time.t ->
+  Feedback.t list ->
+  unit
+(** Feed one acknowledgement worth of feedback: [acked] payload bytes
+    left the network, [rtt] is a fresh sample when the acked packet was
+    not retransmitted, and the list holds this pathlet's entries from
+    the ACK. *)
+
+val on_loss : t -> now:Engine.Time.t -> unit
+(** A retransmission timeout attributed to this pathlet. *)
+
+val window : t -> int
+(** Current allowed bytes in flight (≥ 1 mss). *)
+
+val srtt : t -> Engine.Time.t
+(** Smoothed RTT over this pathlet (initial 100 us before samples). *)
+
+val rto : t -> Engine.Time.t
+
+val congested : t -> now:Engine.Time.t -> bool
+(** Whether feedback within the last two RTTs indicated congestion —
+    the signal the endpoint uses to populate the header's path-exclude
+    list. *)
+
+val mss : t -> int

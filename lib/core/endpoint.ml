@@ -1,0 +1,628 @@
+type delivery = {
+  dl_src : Netsim.Packet.addr;
+  dl_src_port : int;
+  dl_dst_port : int;
+  dl_msg_id : int;
+  dl_size : int;
+  dl_cookie : int;
+  dl_cookie2 : int;
+  dl_pri : int;
+  dl_tc : int;
+  dl_latency : Engine.Time.t;
+}
+
+type pkt_state =
+  | Unsent
+  | Inflight of { at : Engine.Time.t; charged : Wire.path_ref list; rtx : bool }
+  | Lost (* awaiting retransmission *)
+  | Acked
+
+type txmsg = {
+  tx_id : int;
+  tx_dst : Netsim.Packet.addr;
+  tx_dst_port : int;
+  tx_src_port : int;
+  tx_pri : int;
+  tx_tc : int;
+  tx_size : int;
+  tx_npkts : int;
+  tx_cookie : int;
+  tx_cookie2 : int;
+  states : pkt_state array;
+  mutable acked_pkts : int;
+  mutable scan : int; (* all packets below this index are not Unsent *)
+  mutable retx : int list; (* packet numbers awaiting retransmission *)
+  tx_created : Engine.Time.t;
+  mutable tx_last_progress : Engine.Time.t;
+  tx_on_complete : (Engine.Time.t -> unit) option;
+}
+
+type rxmsg = {
+  rx_src : Netsim.Packet.addr;
+  rx_src_port : int;
+  rx_dst_port : int;
+  rx_id : int;
+  rx_size : int;
+  rx_npkts : int;
+  rx_cookie : int;
+  rx_cookie2 : int;
+  rx_pri : int;
+  rx_tc : int;
+  got : Bytes.t; (* bitmap *)
+  mutable rx_count : int;
+  rx_first : Engine.Time.t;
+}
+
+(* Pending coalesced acknowledgement towards one source. *)
+type ack_acc = {
+  mutable acc_sacks : Wire.pkt_ref list; (* newest first *)
+  mutable acc_count : int;
+  mutable acc_fb : Wire.path_fb list; (* latest packet's feedback *)
+  mutable acc_template : Wire.t; (* ports/msg id for the reply *)
+  mutable acc_timer : Engine.Sim.handle option;
+}
+
+type t = {
+  ep_node : Netsim.Node.t;
+  ep_sim : Engine.Sim.t;
+  entity : int;
+  mtu : int;
+  max_msg_bytes : int;
+  max_rx_messages : int;
+  exclusion : bool;
+  path_table : Pathlet.t;
+  mutable next_msg_id : int;
+  mutable next_port : int;
+  tx_table : (int, txmsg) Hashtbl.t;
+  mutable active : txmsg list; (* sorted by (pri, id) *)
+  current : (Netsim.Packet.addr, (Wire.path_ref * Engine.Time.t) list) Hashtbl.t;
+  rx_table : (int * int, rxmsg) Hashtbl.t;
+  recent_done : (int * int, unit) Hashtbl.t;
+  recent_queue : (int * int) Queue.t;
+  bindings : (int, delivery -> unit) Hashtbl.t;
+  ack_every : int;
+  ack_delay : Engine.Time.t;
+  ack_acc : (Netsim.Packet.addr, ack_acc) Hashtbl.t;
+  mutable ticker_running : bool;
+  (* counters *)
+  mutable n_completed : int;
+  mutable n_delivered : int;
+  mutable n_delivered_bytes : int;
+  mutable n_retransmits : int;
+  mutable n_timeouts : int;
+  mutable n_nacks : int;
+  mutable n_rejected : int;
+  mutable n_acks_tx : int;
+}
+
+let node t = t.ep_node
+let sim t = t.ep_sim
+let pathlets t = t.path_table
+
+let now t = Engine.Sim.now t.ep_sim
+
+(* ------------------------------------------------------------------ *)
+(* Bitmap helpers                                                       *)
+
+let bit_get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  let byte = i lsr 3 in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lor (1 lsl (i land 7))))
+
+(* ------------------------------------------------------------------ *)
+(* Path state                                                           *)
+
+let default_path tc = [ { Wire.path_id = 0; path_tc = tc } ]
+
+(* A pathlet stays "live" for a destination while acks keep naming it;
+   after a few RTTs of silence (e.g. the network moved the path) it
+   expires and stops constraining or crediting the send budget. *)
+let live_refs t entries =
+  let time = Engine.Sim.now t.ep_sim in
+  List.filter_map
+    (fun (r, seen) ->
+      let ttl = max (Engine.Time.us 20) (4 * Cc.srtt (Pathlet.get t.path_table r)) in
+      if time - seen <= ttl then Some r else None)
+    entries
+
+let current_path t ~dst =
+  match Hashtbl.find_opt t.current dst with
+  | Some entries -> (
+    match live_refs t entries with [] -> default_path 0 | refs -> refs)
+  | None -> default_path 0
+
+let path_for t ~dst ~tc =
+  match Hashtbl.find_opt t.current dst with
+  | Some entries -> (
+    match live_refs t entries with [] -> default_path tc | refs -> refs)
+  | None -> default_path tc
+
+let note_paths t ~dst refs =
+  let time = Engine.Sim.now t.ep_sim in
+  let existing =
+    match Hashtbl.find_opt t.current dst with Some e -> e | None -> []
+  in
+  let kept =
+    List.filter (fun (r, _) -> not (List.mem r refs)) existing
+  in
+  Hashtbl.replace t.current dst
+    (List.map (fun r -> (r, time)) refs @ kept)
+
+(* ------------------------------------------------------------------ *)
+(* Packet geometry: packets carry [mtu] bytes except the last.          *)
+
+let pkt_payload t msg pkt_num =
+  let full = t.mtu in
+  if pkt_num < msg.tx_npkts - 1 then full
+  else msg.tx_size - (full * (msg.tx_npkts - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                             *)
+
+let emit_header t ~dst header =
+  let pkt =
+    Wire.packet ~now:(now t) ~src:(Netsim.Node.addr t.ep_node) ~dst
+      ~entity:t.entity header
+  in
+  Netsim.Node.send t.ep_node pkt
+
+let send_data_pkt t msg pkt_num ~rtx =
+  let payload = pkt_payload t msg pkt_num in
+  let exclude =
+    if t.exclusion then
+      (* Cap the list so headers stay small. *)
+      let congested = Pathlet.congested_paths t.path_table ~now:(now t) in
+      List.filteri (fun i _ -> i < 4) congested
+    else []
+  in
+  let header =
+    Wire.data ~pri:msg.tx_pri ~tc:msg.tx_tc ~cookie:msg.tx_cookie
+      ~cookie2:msg.tx_cookie2 ~exclude ~src_port:msg.tx_src_port
+      ~dst_port:msg.tx_dst_port ~msg_id:msg.tx_id ~msg_len:msg.tx_size
+      ~msg_pkts:msg.tx_npkts ~pkt_num ~pkt_offset:(pkt_num * t.mtu)
+      ~pkt_len:payload ()
+  in
+  let charged =
+    Pathlet.best_of t.path_table (path_for t ~dst:msg.tx_dst ~tc:msg.tx_tc)
+  in
+  Pathlet.charge t.path_table charged payload;
+  msg.states.(pkt_num) <- Inflight { at = now t; charged; rtx };
+  msg.tx_last_progress <- now t;
+  if rtx then t.n_retransmits <- t.n_retransmits + 1;
+  emit_header t ~dst:msg.tx_dst header
+
+(* ------------------------------------------------------------------ *)
+(* The send pump                                                        *)
+
+let sendable msg = msg.retx <> [] || msg.scan < msg.tx_npkts
+
+(* Per-round quantum: how many packets one message may send before the
+   pump moves to the next message of the same priority.  Round-robin
+   with a small quantum approximates processor sharing among
+   equal-priority messages, so a message never waits for a whole
+   earlier message to finish (higher priorities still strictly
+   preempt, since the list is priority-ordered and rescanned every
+   round). *)
+let quantum = 4
+
+let rec pump t =
+  let rec round () =
+    let progress = ref false in
+    List.iter
+      (fun msg ->
+        let sent = ref 0 in
+        let continue = ref true in
+        while !continue && !sent < quantum && sendable msg do
+          let path = path_for t ~dst:msg.tx_dst ~tc:msg.tx_tc in
+          (* Sum across live pathlets: the network may be spreading our
+             messages over several of them concurrently. *)
+          let headroom = Pathlet.headroom_sum t.path_table path in
+          let next_pkt =
+            match msg.retx with
+            | p :: _ -> Some p
+            | [] -> if msg.scan < msg.tx_npkts then Some msg.scan else None
+          in
+          match next_pkt with
+          | None -> continue := false
+          | Some p ->
+            if pkt_payload t msg p <= headroom then begin
+              (match msg.retx with
+              | q :: rest when q = p -> msg.retx <- rest
+              | _ -> msg.scan <- msg.scan + 1);
+              send_data_pkt t msg p ~rtx:(msg.states.(p) <> Unsent);
+              incr sent;
+              progress := true
+            end
+            else continue := false
+        done)
+      t.active;
+    if !progress then round ()
+  in
+  round ();
+  ensure_ticker t
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission timer                                                 *)
+
+and ensure_ticker t =
+  if (not t.ticker_running) && Hashtbl.length t.tx_table > 0 then begin
+    t.ticker_running <- true;
+    Engine.Sim.periodic t.ep_sim ~interval:(Engine.Time.us 100) (fun () ->
+        if Hashtbl.length t.tx_table = 0 then begin
+          t.ticker_running <- false;
+          false
+        end
+        else begin
+          check_timeouts t;
+          true
+        end)
+  end
+
+and check_timeouts t =
+  let time = now t in
+  let expired = ref [] in
+  let has_inflight msg =
+    Array.exists
+      (function Inflight _ -> true | Unsent | Lost | Acked -> false)
+      msg.states
+  in
+  Hashtbl.iter
+    (fun _ msg ->
+      (* Only messages with packets actually in the network can time
+         out; a message merely blocked on the window is not stalled. *)
+      if has_inflight msg then begin
+        let path = path_for t ~dst:msg.tx_dst ~tc:msg.tx_tc in
+        let rto =
+          List.fold_left
+            (fun acc r -> max acc (Cc.rto (Pathlet.get t.path_table r)))
+            0 path
+        in
+        if time - msg.tx_last_progress > rto then
+          expired := (msg, path) :: !expired
+      end)
+    t.tx_table;
+  List.iter
+    (fun (msg, path) ->
+      t.n_timeouts <- t.n_timeouts + 1;
+      msg.tx_last_progress <- time;
+      (* All in-flight packets of this message are presumed lost. *)
+      Array.iteri
+        (fun i st ->
+          match st with
+          | Inflight { charged; _ } ->
+            Pathlet.discharge t.path_table charged (pkt_payload t msg i);
+            msg.states.(i) <- Lost;
+            msg.retx <- msg.retx @ [ i ]
+          | Unsent | Lost | Acked -> ())
+        msg.states;
+      List.iter
+        (fun r -> Cc.on_loss (Pathlet.get t.path_table r) ~now:time)
+        path)
+    !expired;
+  if !expired <> [] then pump t
+
+(* ------------------------------------------------------------------ *)
+(* ACK processing (sender side)                                         *)
+
+let remember_done t key =
+  Hashtbl.replace t.recent_done key ();
+  Queue.push key t.recent_queue;
+  if Queue.length t.recent_queue > 4096 then
+    let old = Queue.pop t.recent_queue in
+    Hashtbl.remove t.recent_done old
+
+let finish_message t msg =
+  Hashtbl.remove t.tx_table msg.tx_id;
+  t.active <- List.filter (fun m -> m.tx_id <> msg.tx_id) t.active;
+  t.n_completed <- t.n_completed + 1;
+  match msg.tx_on_complete with
+  | Some f -> f (now t - msg.tx_created)
+  | None -> ()
+
+let group_feedback entries =
+  (* Group ACK feedback entries by pathlet, preserving order. *)
+  let groups = ref [] in
+  List.iter
+    (fun { Wire.fb_path; fb } ->
+      match List.assoc_opt fb_path !groups with
+      | Some fbs -> fbs := fb :: !fbs
+      | None -> groups := (fb_path, ref [ fb ]) :: !groups)
+    entries;
+  List.rev_map (fun (path, fbs) -> (path, List.rev !fbs)) !groups
+
+let process_ack t (header : Wire.t) (pkt : Netsim.Packet.t) =
+  let src = pkt.Netsim.Packet.src in
+  let fb_groups = group_feedback header.Wire.ack_path_feedback in
+  (* The network just told us which pathlets this destination's path
+     crosses; remember them for window gating. *)
+  if fb_groups <> [] then note_paths t ~dst:src (List.map fst fb_groups);
+  let apply_feedback ?(implicit = []) ~acked ~rtt () =
+    if fb_groups = [] then begin
+      (* No MTP-aware device annotated the path: evolve the default
+         pathlet so congestion control still works end-to-end.
+         [implicit] carries locally inferred signals (e.g. a NACK
+         implies trimming happened even if no hop said so). *)
+      List.iter
+        (fun r ->
+          Cc.on_ack (Pathlet.get t.path_table r) ~now:(now t) ~acked ?rtt
+            implicit)
+        (default_path header.Wire.msg_tc)
+    end
+    else
+      List.iter
+        (fun (path, fbs) ->
+          Cc.on_ack (Pathlet.get t.path_table path) ~now:(now t) ~acked ?rtt
+            fbs)
+        fb_groups
+  in
+  (* SACKed packets. *)
+  List.iter
+    (fun { Wire.ref_msg; ref_pkt } ->
+      match Hashtbl.find_opt t.tx_table ref_msg with
+      | None -> ()
+      | Some msg -> (
+        match msg.states.(ref_pkt) with
+        | Inflight { at; charged; rtx } ->
+          let payload = pkt_payload t msg ref_pkt in
+          Pathlet.discharge t.path_table charged payload;
+          msg.states.(ref_pkt) <- Acked;
+          msg.acked_pkts <- msg.acked_pkts + 1;
+          msg.tx_last_progress <- now t;
+          let rtt = if rtx then None else Some (now t - at) in
+          apply_feedback ~acked:payload ~rtt ();
+          if msg.acked_pkts = msg.tx_npkts then finish_message t msg
+        | Lost | Acked -> ()
+        | Unsent -> ()))
+    header.Wire.sack;
+  (* NACKed packets: retransmit promptly; congestion already flows in
+     via the echoed Trimmed/ECN feedback. *)
+  List.iter
+    (fun { Wire.ref_msg; ref_pkt } ->
+      t.n_nacks <- t.n_nacks + 1;
+      match Hashtbl.find_opt t.tx_table ref_msg with
+      | None -> ()
+      | Some msg -> (
+        match msg.states.(ref_pkt) with
+        | Inflight { charged; _ } ->
+          Pathlet.discharge t.path_table charged (pkt_payload t msg ref_pkt);
+          msg.states.(ref_pkt) <- Lost;
+          msg.retx <- msg.retx @ [ ref_pkt ];
+          msg.tx_last_progress <- now t;
+          apply_feedback ~implicit:[ Feedback.Trimmed ] ~acked:0 ~rtt:None ()
+        | Lost | Acked | Unsent -> ()))
+    header.Wire.nack;
+  pump t
+
+(* ------------------------------------------------------------------ *)
+(* Data processing (receiver side)                                      *)
+
+let emit_ack t ~dst (template : Wire.t) ~sacks ~nacks ~fb =
+  let ack =
+    Wire.ack ~sack:sacks ~nack:nacks ~tc:template.Wire.msg_tc
+      ~src_port:template.Wire.dst_port ~dst_port:template.Wire.src_port
+      ~msg_id:template.Wire.msg_id ~ack_path_feedback:fb ()
+  in
+  t.n_acks_tx <- t.n_acks_tx + 1;
+  emit_header t ~dst ack
+
+let flush_acks t ~dst acc =
+  (match acc.acc_timer with
+  | Some h ->
+    Engine.Sim.cancel h;
+    acc.acc_timer <- None
+  | None -> ());
+  if acc.acc_count > 0 then begin
+    emit_ack t ~dst acc.acc_template ~sacks:(List.rev acc.acc_sacks)
+      ~nacks:[] ~fb:acc.acc_fb;
+    acc.acc_sacks <- [];
+    acc.acc_count <- 0;
+    acc.acc_fb <- []
+  end
+
+(* Immediate ack, or accumulate when coalescing is enabled (paper
+   section 4: "feedback can be aggregated").  NACKs and urgent acks
+   always flush at once. *)
+let send_ack ?(urgent = false) t ~dst (header : Wire.t) ~sack ~nack =
+  if t.ack_every <= 1 || nack <> [] || urgent then begin
+    (* Flush anything pending first so ordering stays sane. *)
+    (match Hashtbl.find_opt t.ack_acc dst with
+    | Some acc -> flush_acks t ~dst acc
+    | None -> ());
+    emit_ack t ~dst header ~sacks:sack ~nacks:nack
+      ~fb:header.Wire.path_feedback
+  end
+  else begin
+    let acc =
+      match Hashtbl.find_opt t.ack_acc dst with
+      | Some acc -> acc
+      | None ->
+        let acc =
+          { acc_sacks = []; acc_count = 0; acc_fb = []; acc_template = header;
+            acc_timer = None }
+        in
+        Hashtbl.add t.ack_acc dst acc;
+        acc
+    in
+    acc.acc_template <- header;
+    acc.acc_sacks <- sack @ acc.acc_sacks;
+    acc.acc_count <- acc.acc_count + List.length sack;
+    if header.Wire.path_feedback <> [] then
+      acc.acc_fb <- header.Wire.path_feedback;
+    if acc.acc_count >= t.ack_every then flush_acks t ~dst acc
+    else if acc.acc_timer = None then
+      acc.acc_timer <-
+        Some
+          (Engine.Sim.after t.ep_sim t.ack_delay (fun () ->
+               acc.acc_timer <- None;
+               flush_acks t ~dst acc))
+  end
+
+let deliver t rx =
+  t.n_delivered <- t.n_delivered + 1;
+  match Hashtbl.find_opt t.bindings rx.rx_dst_port with
+  | None -> ()
+  | Some callback ->
+    callback
+      { dl_src = rx.rx_src; dl_src_port = rx.rx_src_port;
+        dl_dst_port = rx.rx_dst_port; dl_msg_id = rx.rx_id;
+        dl_size = rx.rx_size; dl_cookie = rx.rx_cookie;
+        dl_cookie2 = rx.rx_cookie2; dl_pri = rx.rx_pri; dl_tc = rx.rx_tc;
+        dl_latency = now t - rx.rx_first }
+
+let process_data t (header : Wire.t) (pkt : Netsim.Packet.t) =
+  let src = pkt.Netsim.Packet.src in
+  let key = (src, header.Wire.msg_id) in
+  let this_ref =
+    { Wire.ref_msg = header.Wire.msg_id; ref_pkt = header.Wire.pkt_num }
+  in
+  if pkt.Netsim.Packet.trimmed then
+    (* NDP-style: the payload is gone; tell the sender immediately. *)
+    send_ack t ~dst:src header ~sack:[] ~nack:[ this_ref ]
+  else if Hashtbl.mem t.recent_done key then
+    (* Duplicate of a completed message: re-ACK so the sender stops. *)
+    send_ack t ~dst:src header ~sack:[ this_ref ] ~nack:[]
+  else begin
+    let rx =
+      match Hashtbl.find_opt t.rx_table key with
+      | Some rx -> Some rx
+      | None ->
+        if header.Wire.msg_len > t.max_msg_bytes
+           || Hashtbl.length t.rx_table >= t.max_rx_messages
+        then begin
+          t.n_rejected <- t.n_rejected + 1;
+          None
+        end
+        else begin
+          (* The header announces the full geometry up front, so the
+             receiver allocates exactly one bitmap — the bounded
+             buffering property of §2.2. *)
+          let rx =
+            { rx_src = src; rx_src_port = header.Wire.src_port;
+              rx_dst_port = header.Wire.dst_port;
+              rx_id = header.Wire.msg_id; rx_size = header.Wire.msg_len;
+              rx_npkts = header.Wire.msg_pkts;
+              rx_cookie = header.Wire.cookie;
+              rx_cookie2 = header.Wire.cookie2;
+              rx_pri = header.Wire.msg_pri; rx_tc = header.Wire.msg_tc;
+              got = Bytes.make ((header.Wire.msg_pkts + 7) / 8) '\000';
+              rx_count = 0; rx_first = now t }
+          in
+          Hashtbl.add t.rx_table key rx;
+          Some rx
+        end
+    in
+    match rx with
+    | None -> ()
+    | Some rx ->
+      if not (bit_get rx.got header.Wire.pkt_num) then begin
+        bit_set rx.got header.Wire.pkt_num;
+        rx.rx_count <- rx.rx_count + 1;
+        t.n_delivered_bytes <- t.n_delivered_bytes + header.Wire.pkt_len
+      end;
+      let complete = rx.rx_count = rx.rx_npkts in
+      (* A message-completing packet flushes immediately so the sender
+         finishes without waiting out the coalescing delay. *)
+      send_ack ~urgent:complete t ~dst:src header ~sack:[ this_ref ]
+        ~nack:[];
+      if complete then begin
+        Hashtbl.remove t.rx_table key;
+        remember_done t key;
+        deliver t rx
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction & API                                                   *)
+
+let create ?(algo = Cc.Dctcp { g = 0.0625 }) ?init_window
+    ?(mtu_payload = 1440) ?(entity = 0) ?(max_msg_bytes = max_int / 4)
+    ?(max_rx_messages = 1 lsl 20) ?(exclusion = true) ?(ack_every = 1)
+    ?(ack_delay = Engine.Time.us 10) node =
+  let t =
+    { ep_node = node; ep_sim = Netsim.Node.sim node; entity;
+      mtu = mtu_payload; max_msg_bytes; max_rx_messages; exclusion;
+      path_table = Pathlet.create ?init_window ~mss:mtu_payload algo;
+      next_msg_id = 1; next_port = 30_000; tx_table = Hashtbl.create 64;
+      active = []; current = Hashtbl.create 8; rx_table = Hashtbl.create 64;
+      recent_done = Hashtbl.create 4096; recent_queue = Queue.create ();
+      bindings = Hashtbl.create 8; ack_every = max 1 ack_every; ack_delay;
+      ack_acc = Hashtbl.create 8; ticker_running = false; n_completed = 0;
+      n_delivered = 0; n_delivered_bytes = 0; n_retransmits = 0;
+      n_timeouts = 0; n_nacks = 0; n_rejected = 0; n_acks_tx = 0 }
+  in
+  let previous = Netsim.Node.handler node in
+  (* Multiple endpoints may coexist on one host: packets that name no
+     port binding / outstanding message of ours fall through to the
+     previously installed handler. *)
+  let concerns_us (header : Wire.t) =
+    if header.Wire.is_ack then
+      List.exists
+        (fun { Wire.ref_msg; _ } -> Hashtbl.mem t.tx_table ref_msg)
+        header.Wire.sack
+      || List.exists
+           (fun { Wire.ref_msg; _ } -> Hashtbl.mem t.tx_table ref_msg)
+           header.Wire.nack
+    else Hashtbl.mem t.bindings header.Wire.dst_port
+  in
+  Netsim.Node.set_handler node (fun pkt ->
+      match pkt.Netsim.Packet.payload with
+      | Wire.Mtp header when concerns_us header ->
+        if header.Wire.is_ack then process_ack t header pkt
+        else process_data t header pkt
+      | _ -> ( match previous with Some h -> h pkt | None -> ()));
+  t
+
+let bind t ~port callback = Hashtbl.replace t.bindings port callback
+
+let unbind t ~port = Hashtbl.remove t.bindings port
+
+let fresh_port t =
+  t.next_port <- t.next_port + 1;
+  t.next_port
+
+let insert_active t msg =
+  let rec go = function
+    | [] -> [ msg ]
+    | m :: rest ->
+      if (msg.tx_pri, msg.tx_id) < (m.tx_pri, m.tx_id) then msg :: m :: rest
+      else m :: go rest
+  in
+  t.active <- go t.active
+
+let send t ~dst ~dst_port ?src_port ?(pri = 0) ?(tc = 0) ?(cookie = 0)
+    ?(cookie2 = 0) ?on_complete ~size () =
+  if size <= 0 then invalid_arg "Endpoint.send: size must be positive";
+  let src_port =
+    match src_port with
+    | Some p -> p
+    | None ->
+      t.next_port <- t.next_port + 1;
+      t.next_port
+  in
+  let id = t.next_msg_id in
+  t.next_msg_id <- t.next_msg_id + 1;
+  let npkts = (size + t.mtu - 1) / t.mtu in
+  let msg =
+    { tx_id = id; tx_dst = dst; tx_dst_port = dst_port; tx_src_port = src_port;
+      tx_pri = pri; tx_tc = tc; tx_size = size; tx_npkts = npkts;
+      tx_cookie = cookie; tx_cookie2 = cookie2;
+      states = Array.make npkts Unsent; acked_pkts = 0; scan = 0; retx = [];
+      tx_created = now t; tx_last_progress = now t;
+      tx_on_complete = on_complete }
+  in
+  Hashtbl.add t.tx_table id msg;
+  insert_active t msg;
+  pump t;
+  id
+
+let active_messages t = Hashtbl.length t.tx_table
+
+let completed t = t.n_completed
+let delivered_messages t = t.n_delivered
+let delivered_bytes t = t.n_delivered_bytes
+let retransmits t = t.n_retransmits
+let timeouts t = t.n_timeouts
+let nacks_received t = t.n_nacks
+let rejected t = t.n_rejected
+let acks_sent t = t.n_acks_tx

@@ -1,0 +1,113 @@
+(** An MTP endpoint: the host-side protocol machine.
+
+    Messages are the unit of transfer, acknowledgement, retransmission
+    and scheduling (paper §3.1.2).  There is no connection setup: the
+    first packet of a message carries everything a receiver or network
+    device needs (identity, size in bytes and packets, priority,
+    traffic class).  Acknowledgements are per packet (SACK entries) and
+    echo the network's pathlet feedback back to the source, which
+    drives the per-pathlet congestion controllers of {!Pathlet}.
+
+    Reliability: lost packets are recovered by NACKs (when an NDP-style
+    trimming switch turned the packet into a header) or by a
+    per-message retransmission timer.  Completion fires when every
+    packet has been acknowledged. *)
+
+type t
+
+type delivery = {
+  dl_src : Netsim.Packet.addr;
+  dl_src_port : int;
+  dl_dst_port : int;
+  dl_msg_id : int;
+  dl_size : int;
+  dl_cookie : int;
+  dl_cookie2 : int;
+  dl_pri : int;
+  dl_tc : int;
+  dl_latency : Engine.Time.t;
+      (** First-packet-seen to completion at the receiver. *)
+}
+
+val create :
+  ?algo:Cc.algo ->
+  ?init_window:int ->
+  ?mtu_payload:int ->
+  ?entity:int ->
+  ?max_msg_bytes:int ->
+  ?max_rx_messages:int ->
+  ?exclusion:bool ->
+  ?ack_every:int ->
+  ?ack_delay:Engine.Time.t ->
+  Netsim.Node.t ->
+  t
+(** Install an MTP endpoint on a host (chains with any existing packet
+    handler).  [algo] (default [Dctcp {g = 1/16}]) is the default
+    per-pathlet congestion controller.  [mtu_payload] defaults to 1440
+    bytes per packet.  [max_msg_bytes] / [max_rx_messages] bound
+    receiver state (messages beyond them are rejected and counted).
+    With [exclusion] (default true), data headers list recently
+    congested pathlets in the path-exclude field.
+
+    [ack_every] (default 1 = acknowledge every packet) enables
+    feedback aggregation (paper §4): SACK entries towards a source are
+    coalesced until [ack_every] accumulate or [ack_delay] (default
+    10 us) elapses; NACKs and message-completing packets always flush
+    immediately. *)
+
+val node : t -> Netsim.Node.t
+val sim : t -> Engine.Sim.t
+
+val bind : t -> port:int -> (delivery -> unit) -> unit
+(** Deliver completed messages for [port] to the callback. *)
+
+val unbind : t -> port:int -> unit
+(** Remove a binding (late deliveries are dropped). *)
+
+val fresh_port : t -> int
+(** Allocate an unused ephemeral port (for reply routing). *)
+
+val send :
+  t ->
+  dst:Netsim.Packet.addr ->
+  dst_port:int ->
+  ?src_port:int ->
+  ?pri:int ->
+  ?tc:int ->
+  ?cookie:int ->
+  ?cookie2:int ->
+  ?on_complete:(Engine.Time.t -> unit) ->
+  size:int ->
+  unit ->
+  int
+(** Queue a message; returns its id.  [pri] (default 0, lower = more
+    urgent) orders concurrent messages at the sender and in priority
+    queues.  [on_complete] receives the flow completion time (send
+    to last-ACK).  [size] must be positive. *)
+
+val pathlets : t -> Pathlet.t
+(** The endpoint's pathlet table (inspection / per-pathlet algorithm
+    overrides). *)
+
+val active_messages : t -> int
+(** Transmit messages not yet fully acknowledged. *)
+
+val current_path : t -> dst:Netsim.Packet.addr -> Wire.path_ref list
+(** Pathlets the network most recently reported for this
+    destination. *)
+
+(** {1 Counters} *)
+
+val completed : t -> int
+(** Messages fully acknowledged at the sender. *)
+
+val delivered_messages : t -> int
+val delivered_bytes : t -> int
+val retransmits : t -> int
+val timeouts : t -> int
+val nacks_received : t -> int
+val rejected : t -> int
+(** Messages refused by receiver-side state bounds. *)
+
+val acks_sent : t -> int
+(** Acknowledgement packets emitted (drops with coalescing). *)

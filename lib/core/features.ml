@@ -1,0 +1,188 @@
+type transport =
+  | Tcp_passthrough_many_rpf
+  | Tcp_passthrough_one_rpf
+  | Tcp_termination_many_rpf
+  | Tcp_termination_one_rpf
+  | Dctcp
+  | Udp
+  | Quic
+  | Mptcp
+  | Swift
+  | Rdma_rc
+  | Rdma_uc
+  | Rdma_ud
+  | Mtp
+
+type requirement =
+  | Data_mutation
+  | Low_buffering_and_computation
+  | Inter_message_independence
+  | Multi_resource_multi_algorithm_cc
+  | Multi_entity_isolation
+
+type verdict = Yes | No | Unclear
+
+type properties = {
+  byte_stream : bool;
+  terminated_in_network : bool;
+  many_requests_per_flow : bool;
+  in_order_delivery_required : bool;
+  per_message_boundaries : bool;
+  independent_streams : bool;
+  needs_reorder_buffering : bool;
+  switch_state_required : bool;
+  pluggable_cc : bool;
+  multipath_feedback : bool;
+  multi_bit_feedback : bool;
+  provenance_visible : bool;
+  congestion_control : bool;
+}
+
+let base =
+  { byte_stream = true; terminated_in_network = false;
+    many_requests_per_flow = true; in_order_delivery_required = true;
+    per_message_boundaries = false; independent_streams = false;
+    needs_reorder_buffering = false; switch_state_required = false;
+    pluggable_cc = false; multipath_feedback = false;
+    multi_bit_feedback = false; provenance_visible = false;
+    congestion_control = true }
+
+let properties = function
+  | Tcp_passthrough_many_rpf ->
+    (* Vanilla TCP: any CC algorithm can be plugged in end-to-end. *)
+    { base with pluggable_cc = true }
+  | Tcp_passthrough_one_rpf ->
+    (* One message per flow: each flow restarts from slow start, so no
+       usable congestion state (paper Fig. 3) — but flows now identify
+       messages, giving per-entity visibility. *)
+    { base with many_requests_per_flow = false; pluggable_cc = true;
+      congestion_control = false; provenance_visible = true }
+  | Tcp_termination_many_rpf ->
+    { base with terminated_in_network = true; pluggable_cc = true }
+  | Tcp_termination_one_rpf ->
+    { base with terminated_in_network = true;
+      many_requests_per_flow = false;
+      per_message_boundaries = true (* one message = one flow *);
+      pluggable_cc = true; congestion_control = false;
+      provenance_visible = true }
+  | Dctcp ->
+    (* The protocol pins its algorithm and needs ECN-configured,
+       shallow-buffer-tuned switches. *)
+    { base with switch_state_required = true }
+  | Udp ->
+    { base with byte_stream = false; many_requests_per_flow = false;
+      in_order_delivery_required = false; per_message_boundaries = true;
+      congestion_control = false }
+  | Quic ->
+    (* Independent streams without transport-level ordering between
+       them; framing is encrypted, so devices cannot mutate it. *)
+    { base with in_order_delivery_required = false;
+      independent_streams = true }
+  | Mptcp ->
+    (* Subflows are independent, but reassembling the global sequence
+       space needs large reordering buffers. *)
+    { base with independent_streams = true; needs_reorder_buffering = true;
+      multipath_feedback = true; pluggable_cc = true }
+  | Swift ->
+    { base with multi_bit_feedback = true (* delay, single-resource *) }
+  | Rdma_rc ->
+    (* Message boundaries exist but PSN ordering serializes them. *)
+    { base with per_message_boundaries = true }
+  | Rdma_uc ->
+    { base with per_message_boundaries = true; congestion_control = false }
+  | Rdma_ud ->
+    { base with byte_stream = false; many_requests_per_flow = false;
+      in_order_delivery_required = false; per_message_boundaries = true;
+      congestion_control = false }
+  | Mtp ->
+    { byte_stream = false; terminated_in_network = false;
+      many_requests_per_flow = false (* messages are the unit *);
+      in_order_delivery_required = false; per_message_boundaries = true;
+      independent_streams = true; needs_reorder_buffering = false;
+      switch_state_required = false; pluggable_cc = true;
+      multipath_feedback = true; multi_bit_feedback = true;
+      provenance_visible = true; congestion_control = true }
+
+(* The QUIC multi-resource cell is "—" in the paper: CC is pluggable in
+   principle, but encrypted transport state denies the network any
+   resource-level participation. *)
+let quic_cc_unclear = function Quic -> true | _ -> false
+
+let supports transport req =
+  let p = properties transport in
+  match req with
+  | Data_mutation ->
+    (* Mutation needs either message-oriented sequencing or a
+       terminating device that regenerates the stream; encrypted or
+       plain byte streams break when lengths change. *)
+    if (not p.byte_stream) || p.terminated_in_network then Yes else No
+  | Low_buffering_and_computation ->
+    (* Termination means full flow state and elastic buffers; MPTCP
+       needs cross-subflow reorder buffers; DCTCP needs AQM state in
+       every switch. *)
+    if
+      p.terminated_in_network || p.needs_reorder_buffering
+      || p.switch_state_required
+    then No
+    else Yes
+  | Inter_message_independence ->
+    if p.per_message_boundaries && not p.many_requests_per_flow then Yes
+    else if (not p.byte_stream) && not p.in_order_delivery_required then Yes
+    else if p.independent_streams then Yes
+    else No
+  | Multi_resource_multi_algorithm_cc ->
+    if quic_cc_unclear transport then Unclear
+    else if
+      p.pluggable_cc && p.congestion_control
+      && (p.many_requests_per_flow || p.multipath_feedback)
+    then Yes
+    else No
+  | Multi_entity_isolation -> if p.provenance_visible then Yes else No
+
+let all_transports =
+  [ Tcp_passthrough_many_rpf; Tcp_passthrough_one_rpf;
+    Tcp_termination_many_rpf; Tcp_termination_one_rpf; Dctcp; Udp; Quic;
+    Mptcp; Swift; Rdma_rc; Rdma_uc; Rdma_ud; Mtp ]
+
+let all_requirements =
+  [ Data_mutation; Low_buffering_and_computation;
+    Inter_message_independence; Multi_resource_multi_algorithm_cc;
+    Multi_entity_isolation ]
+
+let transport_name = function
+  | Tcp_passthrough_many_rpf -> "TCP Pass-Through (many RPF)"
+  | Tcp_passthrough_one_rpf -> "TCP Pass-Through (one RPF)"
+  | Tcp_termination_many_rpf -> "TCP Termination (many RPF)"
+  | Tcp_termination_one_rpf -> "TCP Termination (one RPF)"
+  | Dctcp -> "DCTCP"
+  | Udp -> "UDP"
+  | Quic -> "QUIC"
+  | Mptcp -> "MPTCP"
+  | Swift -> "Swift"
+  | Rdma_rc -> "RDMA RC"
+  | Rdma_uc -> "RDMA UC"
+  | Rdma_ud -> "RDMA UD"
+  | Mtp -> "MTP"
+
+let requirement_name = function
+  | Data_mutation -> "Data Mutation"
+  | Low_buffering_and_computation -> "Low Buffering & Computation"
+  | Inter_message_independence -> "Inter-Message Independence"
+  | Multi_resource_multi_algorithm_cc -> "Multi-Resource & Multi-Algo CC"
+  | Multi_entity_isolation -> "Multi-Entity Isolation"
+
+let verdict_symbol = function Yes -> "Y" | No -> "x" | Unclear -> "-"
+
+let table () =
+  let t =
+    Stats.Table.create
+      ~columns:("Transport" :: List.map requirement_name all_requirements)
+  in
+  List.iter
+    (fun tr ->
+      Stats.Table.add_row t
+        (transport_name tr
+        :: List.map (fun r -> verdict_symbol (supports tr r)) all_requirements
+        ))
+    all_transports;
+  t

@@ -1,0 +1,181 @@
+type stamp_mode =
+  | Ecn_mark of int
+  | Ce_echo
+  | Queue_depth
+  | Delay_report
+  | Rate_grant of { capacity : Engine.Time.rate }
+
+(* Periodic RCP-style rate controller for one link: every interval,
+   compare arrivals against capacity and drain the standing queue.
+   R <- R * (1 + gain * (spare_fraction - queue_drain_fraction)). *)
+type rcp_state = { mutable grant_mbps : int; mutable arrived_bytes : int }
+
+let rcp_controller sim link ~capacity =
+  let state =
+    { grant_mbps = capacity / 2_000_000 (* start at half capacity *);
+      arrived_bytes = 0 }
+  in
+  let interval = Engine.Time.us 50 in
+  Engine.Sim.periodic sim ~interval (fun () ->
+      let cap_bytes = Engine.Time.bytes_in ~rate:capacity interval in
+      let spare =
+        float_of_int (cap_bytes - state.arrived_bytes)
+        /. float_of_int (max 1 cap_bytes)
+      in
+      let queue_frac =
+        float_of_int ((Netsim.Link.qdisc link).Netsim.Qdisc.byte_length ())
+        /. float_of_int (max 1 cap_bytes)
+      in
+      let factor = 1.0 +. (0.4 *. (spare -. (0.5 *. queue_frac))) in
+      let next =
+        float_of_int state.grant_mbps *. Float.max 0.5 (Float.min 2.0 factor)
+      in
+      let cap_mbps = capacity / 1_000_000 in
+      state.grant_mbps <- max 10 (min cap_mbps (int_of_float next));
+      state.arrived_bytes <- 0;
+      true);
+  state
+
+let stamp sim link ~path_id ~mode =
+  let rcp =
+    match mode with
+    | Rate_grant { capacity } -> Some (rcp_controller sim link ~capacity)
+    | Ecn_mark _ | Ce_echo | Queue_depth | Delay_report -> None
+  in
+  let inner = Netsim.Link.qdisc link in
+  let on_enqueue (pkt : Netsim.Packet.t) =
+    match pkt.Netsim.Packet.payload with
+    | Wire.Mtp header when not header.Wire.is_ack ->
+      (match rcp with
+      | Some state ->
+        state.arrived_bytes <- state.arrived_bytes + pkt.Netsim.Packet.size
+      | None -> ());
+      let path = { Wire.path_id; path_tc = header.Wire.msg_tc } in
+      let depth = inner.Netsim.Qdisc.pkt_length () - 1 in
+      let fb =
+        match mode with
+        | Ecn_mark threshold -> Feedback.Ecn (depth >= threshold)
+        | Ce_echo -> Feedback.Ecn pkt.Netsim.Packet.ecn_ce
+        | Queue_depth -> Feedback.Queue (max 0 depth)
+        | Delay_report ->
+          let queued = inner.Netsim.Qdisc.byte_length () in
+          Feedback.Delay
+            (Engine.Time.tx_time ~bytes:queued
+               ~rate:(Netsim.Link.rate link))
+        | Rate_grant _ -> (
+          match rcp with
+          | Some state -> Feedback.Rate state.grant_mbps
+          | None -> assert false)
+      in
+      let header = Wire.add_feedback header path fb in
+      let header =
+        if pkt.Netsim.Packet.trimmed then
+          Wire.add_feedback header path Feedback.Trimmed
+        else header
+      in
+      (* The header grew: keep the wire size honest. *)
+      pkt.Netsim.Packet.payload <- Wire.Mtp header;
+      pkt.Netsim.Packet.size <-
+        Wire.encoded_size header + header.Wire.pkt_len
+    | Wire.Mtp _ -> ()
+    | _ -> ()
+  in
+  Netsim.Link.set_qdisc link (Netsim.Qdisc.with_hooks ~on_enqueue inner)
+
+let alternate_path sim sw ~dst ~ports ~interval ~fallback =
+  let current = ref 0 in
+  Engine.Sim.periodic sim ~interval (fun () ->
+      current := (!current + 1) mod Array.length ports;
+      true);
+  Netsim.Switch.set_forward sw (fun pkt ->
+      if pkt.Netsim.Packet.dst = dst then
+        Netsim.Switch.Forward ports.(!current)
+      else fallback pkt)
+
+let excluded_in header port_paths port =
+  match List.assoc_opt port port_paths with
+  | None -> false
+  | Some path_id ->
+    List.exists
+      (fun (r : Wire.path_ref) -> r.Wire.path_id = path_id)
+      header.Wire.path_exclude
+
+let exclusion_aware ~port_paths routes pkt =
+  let ports = Netsim.Routing.ports_for routes pkt.Netsim.Packet.dst in
+  let n = Array.length ports in
+  if n = 0 then Netsim.Switch.Drop
+  else
+    match pkt.Netsim.Packet.payload with
+    | Wire.Mtp header when header.Wire.path_exclude <> [] ->
+      let allowed =
+        Array.to_list ports
+        |> List.filter (fun p -> not (excluded_in header port_paths p))
+      in
+      (match allowed with
+      | [] -> Netsim.Switch.Forward ports.(pkt.Netsim.Packet.flow_hash mod n)
+      | choices ->
+        let k = List.length choices in
+        Netsim.Switch.Forward
+          (List.nth choices (pkt.Netsim.Packet.flow_hash mod k)))
+    | _ -> Netsim.Switch.Forward ports.(pkt.Netsim.Packet.flow_hash mod n)
+
+type msg_lb = {
+  lb_sw : Netsim.Switch.t;
+  lb_ports : int array;
+  committed : int array;
+  assignments : int array;
+  table : (int * int, int) Hashtbl.t; (* (src, msg_id) -> port index *)
+}
+
+(* A port's load is what is still committed to it (announced message
+   bytes not yet forwarded) plus what is physically queued on its
+   link — without the queue term, back-to-back messages would all pick
+   the same port because each commitment drains before the next
+   message's first packet arrives. *)
+let port_load lb i =
+  lb.committed.(i)
+  + (Netsim.Link.qdisc (Netsim.Switch.port lb.lb_sw lb.lb_ports.(i)))
+      .Netsim.Qdisc.byte_length ()
+
+let msg_lb sw ~dst ~ports ~fallback =
+  let lb =
+    { lb_sw = sw; lb_ports = ports;
+      committed = Array.make (Array.length ports) 0;
+      assignments = Array.make (Array.length ports) 0;
+      table = Hashtbl.create 256 }
+  in
+  Netsim.Switch.set_forward sw (fun pkt ->
+      match pkt.Netsim.Packet.payload with
+      | Wire.Mtp header
+        when (not header.Wire.is_ack) && pkt.Netsim.Packet.dst = dst ->
+        let key = (pkt.Netsim.Packet.src, header.Wire.msg_id) in
+        let idx =
+          match Hashtbl.find_opt lb.table key with
+          | Some idx -> idx
+          | None ->
+            (* First packet of the message: its header announces the
+               total length, so commit the whole message to the least
+               loaded path (size- and load-aware placement). *)
+            let best = ref 0 in
+            Array.iteri
+              (fun i _ -> if port_load lb i < port_load lb !best then best := i)
+              lb.lb_ports;
+            Hashtbl.replace lb.table key !best;
+            lb.committed.(!best) <-
+              lb.committed.(!best) + header.Wire.msg_len;
+            lb.assignments.(!best) <- lb.assignments.(!best) + 1;
+            !best
+        in
+        lb.committed.(idx) <-
+          max 0 (lb.committed.(idx) - header.Wire.pkt_len);
+        if
+          header.Wire.pkt_num = header.Wire.msg_pkts - 1
+          (* Last packet seen: forget the message. *)
+        then Hashtbl.remove lb.table key;
+        Netsim.Switch.Forward lb.lb_ports.(idx)
+      | _ -> fallback pkt);
+  lb
+
+let lb_assignments lb = Array.copy lb.assignments
+
+let lb_committed lb = Array.copy lb.committed

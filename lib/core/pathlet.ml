@@ -1,0 +1,77 @@
+type t = {
+  default_algo : Cc.algo;
+  init_window : int option;
+  mss : int;
+  table : (int * int, Cc.t) Hashtbl.t;
+  flight : (int * int, int ref) Hashtbl.t;
+}
+
+let create ?init_window ?(mss = 1440) algo =
+  { default_algo = algo; init_window; mss; table = Hashtbl.create 8;
+    flight = Hashtbl.create 8 }
+
+let key (r : Wire.path_ref) = (r.Wire.path_id, r.Wire.path_tc)
+
+let get t r =
+  let k = key r in
+  match Hashtbl.find_opt t.table k with
+  | Some cc -> cc
+  | None ->
+    let cc = Cc.create ?init_window:t.init_window ~mss:t.mss t.default_algo in
+    Hashtbl.add t.table k cc;
+    cc
+
+let set_algo_for t r algo =
+  Hashtbl.replace t.table (key r)
+    (Cc.create ?init_window:t.init_window ~mss:t.mss algo)
+
+let flight_ref t r =
+  let k = key r in
+  match Hashtbl.find_opt t.flight k with
+  | Some f -> f
+  | None ->
+    let f = ref 0 in
+    Hashtbl.add t.flight k f;
+    f
+
+let inflight t r = !(flight_ref t r)
+
+let charge t refs bytes =
+  List.iter (fun r -> flight_ref t r := !(flight_ref t r) + bytes) refs
+
+let discharge t refs bytes =
+  List.iter
+    (fun r ->
+      let f = flight_ref t r in
+      f := max 0 (!f - bytes))
+    refs
+
+let headroom t refs =
+  List.fold_left
+    (fun acc r -> min acc (Cc.window (get t r) - inflight t r))
+    max_int refs
+
+let headroom_sum t refs =
+  List.fold_left
+    (fun acc r -> acc + max 0 (Cc.window (get t r) - inflight t r))
+    0 refs
+
+let best_of t refs =
+  match refs with
+  | [] -> []
+  | first :: _ ->
+    let slack r = Cc.window (get t r) - inflight t r in
+    [ List.fold_left
+        (fun best r -> if slack r > slack best then r else best)
+        first refs ]
+
+let known t =
+  Hashtbl.fold
+    (fun (path_id, path_tc) cc acc ->
+      ({ Wire.path_id; path_tc }, cc) :: acc)
+    t.table []
+
+let congested_paths t ~now =
+  List.filter_map
+    (fun (r, cc) -> if Cc.congested cc ~now then Some r else None)
+    (known t)

@@ -1,0 +1,46 @@
+(** The sender-side pathlet table: one congestion controller per
+    [(pathlet id, traffic class)] pair, created on first contact, plus
+    per-pathlet in-flight accounting. *)
+
+type t
+
+val create : ?init_window:int -> ?mss:int -> Cc.algo -> t
+(** New controllers use these parameters.  The algorithm is the
+    endpoint's default; {!set_algo_for} overrides per pathlet (the
+    multi-algorithm case of paper §2.2). *)
+
+val get : t -> Wire.path_ref -> Cc.t
+(** Controller for a pathlet, created lazily. *)
+
+val set_algo_for : t -> Wire.path_ref -> Cc.algo -> unit
+(** Pin a specific algorithm for one pathlet (replaces any existing
+    state for it). *)
+
+val inflight : t -> Wire.path_ref -> int
+(** Bytes currently charged to a pathlet. *)
+
+val charge : t -> Wire.path_ref list -> int -> unit
+(** Add [bytes] of flight to each listed pathlet. *)
+
+val discharge : t -> Wire.path_ref list -> int -> unit
+(** Remove flight (floored at zero). *)
+
+val headroom : t -> Wire.path_ref list -> int
+(** [min over pathlets (window - inflight)]; how many more bytes may
+    enter the network on a path composed of these pathlets. *)
+
+val headroom_sum : t -> Wire.path_ref list -> int
+(** [sum over pathlets max(0, window - inflight)]: the aggregate send
+    budget when the network spreads traffic over parallel pathlets
+    (message-granular load balancing). *)
+
+val best_of : t -> Wire.path_ref list -> Wire.path_ref list
+(** The pathlet with the most headroom, as a singleton charging target
+    (empty input returns empty). *)
+
+val known : t -> (Wire.path_ref * Cc.t) list
+(** All pathlets seen so far. *)
+
+val congested_paths : t -> now:Engine.Time.t -> Wire.path_ref list
+(** Pathlets whose controllers saw congestion within the last two
+    RTTs — candidates for the header's path-exclude list. *)

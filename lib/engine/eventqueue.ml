@@ -1,0 +1,74 @@
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+
+let size t = t.len
+
+let is_empty t = t.len = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.arr) in
+  let dummy = t.arr.(0) in
+  let arr = Array.make cap dummy in
+  Array.blit t.arr 0 arr 0 t.len;
+  t.arr <- arr
+
+let add t ~time ~seq value =
+  let entry = { time; seq; value } in
+  if Array.length t.arr = 0 then t.arr <- Array.make 16 entry
+  else if t.len = Array.length t.arr then grow t;
+  t.arr.(t.len) <- entry;
+  t.len <- t.len + 1;
+  (* Sift up. *)
+  let i = ref (t.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less t.arr.(!i) t.arr.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.arr.(parent) in
+    t.arr.(parent) <- t.arr.(!i);
+    t.arr.(!i) <- tmp;
+    i := parent
+  done
+
+let peek t =
+  if t.len = 0 then None
+  else
+    let e = t.arr.(0) in
+    Some (e.time, e.seq, e.value)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+        if r < t.len && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.arr.(!smallest) in
+          t.arr.(!smallest) <- t.arr.(!i);
+          t.arr.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let clear t = t.len <- 0

@@ -1,0 +1,24 @@
+(** A binary min-heap keyed by [(time, seq)].
+
+    The sequence number breaks ties so that events scheduled for the
+    same instant fire in FIFO order — essential for deterministic
+    simulation. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:int -> seq:int -> 'a -> unit
+(** Insert an element with the given priority key. *)
+
+val peek : 'a t -> (int * int * 'a) option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit

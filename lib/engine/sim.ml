@@ -1,0 +1,67 @@
+type handle = { mutable cancelled : bool; action : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  heap : handle Eventqueue.t;
+  mutable next_seq : int;
+  mutable executed : int;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { clock = Time.zero;
+    heap = Eventqueue.create ();
+    next_seq = 0;
+    executed = 0;
+    root_rng = Rng.create seed }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule t ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: at=%d is before now=%d" at t.clock);
+  let handle = { cancelled = false; action } in
+  Eventqueue.add t.heap ~time:at ~seq:t.next_seq handle;
+  t.next_seq <- t.next_seq + 1;
+  handle
+
+let after t dt action = schedule t ~at:(t.clock + dt) action
+
+let cancel handle = handle.cancelled <- true
+
+let periodic t ?start ~interval f =
+  assert (interval > 0);
+  let first = match start with Some s -> s | None -> t.clock + interval in
+  let rec tick () = if f () then ignore (after t interval tick) in
+  ignore (schedule t ~at:first tick)
+
+let step t =
+  match Eventqueue.pop t.heap with
+  | None -> false
+  | Some (time, _seq, handle) ->
+    t.clock <- time;
+    if not handle.cancelled then begin
+      t.executed <- t.executed + 1;
+      handle.action ()
+    end;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      match Eventqueue.peek t.heap with
+      | None -> continue := false
+      | Some (time, _, _) ->
+        if time > limit then continue := false else ignore (step t)
+    done;
+    if t.clock < limit then t.clock <- limit
+
+let pending t = Eventqueue.size t.heap
+
+let events_processed t = t.executed

@@ -1,0 +1,52 @@
+(** Discrete-event simulation core.
+
+    A [Sim.t] holds the virtual clock and the pending-event heap.
+    Devices schedule closures at absolute or relative times; [run]
+    drains the heap in time order.  Events scheduled for the same
+    instant fire in the order they were scheduled. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulator.  [seed] (default 42) seeds the root {!Rng.t}. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The simulator's root random stream.  Components that need private
+    streams should {!Rng.split} it at setup time. *)
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** Run a closure at absolute time [at].  [at] must not be in the
+    past. *)
+
+val after : t -> Time.t -> (unit -> unit) -> handle
+(** [after t dt f] runs [f] at [now t + dt]. *)
+
+val cancel : handle -> unit
+(** Prevent a pending event from firing.  Cancelling a fired or
+    already-cancelled event is a no-op. *)
+
+val periodic : t -> ?start:Time.t -> interval:Time.t -> (unit -> bool) -> unit
+(** [periodic t ~interval f] runs [f] every [interval] starting at
+    [start] (default one interval from now) until [f] returns
+    [false]. *)
+
+val step : t -> bool
+(** Execute the next pending event.  Returns [false] if the heap was
+    empty. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Drain events in time order.  With [until], stops once the next
+    event would fire strictly after [until] and advances the clock to
+    [until]. *)
+
+val pending : t -> int
+(** Number of events in the heap (including cancelled ones). *)
+
+val events_processed : t -> int
+(** Total events executed so far, for reporting. *)

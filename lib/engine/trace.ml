@@ -1,0 +1,49 @@
+type t = {
+  capacity : int;
+  mutable on : bool;
+  mutable items : (Time.t * string) list; (* newest first *)
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) () =
+  assert (capacity > 0);
+  { capacity; on = false; items = []; count = 0 }
+
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+let trim t =
+  if t.count > t.capacity then begin
+    (* Drop the oldest half; amortizes the O(n) list surgery. *)
+    let keep = t.capacity / 2 in
+    t.items <- List.filteri (fun i _ -> i < keep) t.items;
+    t.count <- keep
+  end
+
+let record t ~time msg =
+  if t.on then begin
+    t.items <- (time, msg) :: t.items;
+    t.count <- t.count + 1;
+    trim t
+  end
+
+let recordf t ~time fmt =
+  if t.on then Format.kasprintf (fun msg -> record t ~time msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t = List.rev t.items
+
+let length t = t.count
+
+let clear t =
+  t.items <- [];
+  t.count <- 0
+
+let find t ~substring =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+    m = 0 || scan 0
+  in
+  List.find_opt (fun (_, msg) -> contains msg substring) (entries t)

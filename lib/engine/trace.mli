@@ -1,0 +1,33 @@
+(** Lightweight structured tracing for debugging simulations.
+
+    A trace is a bounded in-memory ring of timestamped strings.  It is
+    disabled (zero-cost beyond a branch) unless [enable]d, and is used
+    by tests to assert on event ordering. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 4096) bounds retained entries; older entries
+    are discarded. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val record : t -> time:Time.t -> string -> unit
+(** Append an entry if enabled. *)
+
+val recordf :
+  t -> time:Time.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted {!record}; the format arguments are not evaluated when
+    the trace is disabled. *)
+
+val entries : t -> (Time.t * string) list
+(** Retained entries, oldest first. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+val find : t -> substring:string -> (Time.t * string) option
+(** First retained entry whose message contains [substring]. *)

@@ -1,0 +1,35 @@
+(** Shared output plumbing for the experiment harnesses.
+
+    Each [FigN.run] returns a {!result} carrying the same series/rows
+    the paper's figure or table plots; {!print} renders summaries and,
+    optionally, the raw series rows for external plotting. *)
+
+type series = { label : string; data : Stats.Timeseries.t }
+
+type result = {
+  title : string;
+  series : series list;
+  table : Stats.Table.t option;
+  notes : string list;  (** One-line findings ("MTP/DCTCP = 1.4x"). *)
+}
+
+val make :
+  title:string ->
+  ?series:series list ->
+  ?table:Stats.Table.t ->
+  ?notes:string list ->
+  unit ->
+  result
+
+val print : ?dump_series:bool -> Format.formatter -> result -> unit
+(** Summaries per series (count/mean/max), the table, the notes; with
+    [dump_series], every [time value] row follows. *)
+
+val mean_between :
+  Stats.Timeseries.t -> lo:Engine.Time.t -> hi:Engine.Time.t -> float
+(** Mean series value within a window (steady-state extraction). *)
+
+val write_csv : dir:string -> result -> string list
+(** Write each series of the result to [dir/<slug>.csv] as
+    [time_us,value] rows (creating [dir] if needed) and the table, if
+    any, to [dir/<slug>-table.csv].  Returns the paths written. *)

@@ -1,0 +1,46 @@
+(** Paper Fig. 6 (§5.2): load- and request-aware load balancing.
+
+    One sender, one receiver, two 100 Gbps paths, one with an extra
+    1 us of delay.  A skewed 10 KB–1 GB message mix (mostly short)
+    arrives open-loop.  Three placement schemes:
+
+    - {b ECMP}: each message is a fresh TCP flow hashed onto one path —
+      elephants collide with mice and with each other;
+    - {b packet spraying}: per-packet round robin — balanced load but
+      the delay mismatch reorders packets, triggering spurious TCP
+      retransmissions;
+    - {b MTP LB}: the first packet of each message announces its
+      length, so the switch commits whole messages to the
+      least-loaded path — balanced and reorder-free.
+
+    The paper plots tail (99th percentile) flow completion times. *)
+
+type config = {
+  path_rate : Engine.Time.rate;
+  base_delay : Engine.Time.t;
+  extra_delay_b : Engine.Time.t;  (** Paper: +1 us on one path. *)
+  max_message : int;
+      (** Cap on the 10 KB–1 GB mix so a run stays laptop-sized;
+          (the shape of the comparison is insensitive to the cap). *)
+  load : float;  (** Offered load as a fraction of both paths. *)
+  duration : Engine.Time.t;
+      (** Arrival window; transfers drain for up to 3x longer. *)
+  seed : int;
+}
+
+val default : config
+
+type scheme_out = {
+  fct_p50_us : float;
+  fct_p95_us : float;
+  fct_p99_us : float;
+  fct_mean_us : float;
+  completed : int;
+  retransmits : int;
+}
+
+type output = { ecmp : scheme_out; spray : scheme_out; mtp : scheme_out }
+
+val run : ?config:config -> unit -> output
+
+val result : ?config:config -> unit -> Exp_common.result

@@ -1,0 +1,20 @@
+(** Paper §4, "Packet Header Overheads": MTP headers can grow past
+    TCP's.  This harness quantifies the concern with the repository's
+    real wire encoding: bytes of header per packet as the feedback and
+    SACK lists grow, and total header overhead as a fraction of message
+    size, side by side with TCP's 40-byte header. *)
+
+type row = {
+  scenario : string;
+  header_bytes : int;
+  overhead_1pkt_pct : float;  (** vs a full 1440 B payload. *)
+}
+
+val rows : unit -> row list
+
+val goodput_efficiency : msg_bytes:int -> hops:int -> float
+(** Fraction of wire bytes that are payload for a message of
+    [msg_bytes] crossing [hops] feedback-stamping devices (data packets
+    plus their per-packet ACKs). *)
+
+val result : unit -> Exp_common.result

@@ -1,0 +1,100 @@
+type fig5_row = {
+  flip_us : int;
+  dctcp_gbps : float;
+  mtp_gbps : float;
+  ratio : float;
+}
+
+let fig5_flip_sweep ?(flips_us = [ 96; 192; 384; 768; 1536 ])
+    ?(duration = Engine.Time.ms 6) ?(seed = 42) () =
+  List.map
+    (fun flip_us ->
+      let config =
+        { Fig5_multipath.default with
+          Fig5_multipath.flip_interval = Engine.Time.us flip_us;
+          duration;
+          seed }
+      in
+      let o = Fig5_multipath.run ~config () in
+      { flip_us; dctcp_gbps = o.Fig5_multipath.dctcp_mean;
+        mtp_gbps = o.Fig5_multipath.mtp_mean;
+        ratio = o.Fig5_multipath.improvement })
+    flips_us
+
+type fig6_row = {
+  load : float;
+  ecmp_p50_us : float;
+  ecmp_p99_us : float;
+  spray_p50_us : float;
+  spray_p99_us : float;
+  mtp_p50_us : float;
+  mtp_p99_us : float;
+}
+
+let fig6_load_sweep ?(loads = [ 0.3; 0.5; 0.7 ])
+    ?(duration = Engine.Time.ms 80) ?(seed = 42) () =
+  List.map
+    (fun load ->
+      let config =
+        { Fig6_loadbalance.default with
+          Fig6_loadbalance.load;
+          duration;
+          max_message = 8_000_000;
+          seed }
+      in
+      let o = Fig6_loadbalance.run ~config () in
+      { load;
+        ecmp_p50_us = o.Fig6_loadbalance.ecmp.Fig6_loadbalance.fct_p50_us;
+        ecmp_p99_us = o.Fig6_loadbalance.ecmp.Fig6_loadbalance.fct_p99_us;
+        spray_p50_us = o.Fig6_loadbalance.spray.Fig6_loadbalance.fct_p50_us;
+        spray_p99_us = o.Fig6_loadbalance.spray.Fig6_loadbalance.fct_p99_us;
+        mtp_p50_us = o.Fig6_loadbalance.mtp.Fig6_loadbalance.fct_p50_us;
+        mtp_p99_us = o.Fig6_loadbalance.mtp.Fig6_loadbalance.fct_p99_us })
+    loads
+
+let fig5_result () =
+  let rows = fig5_flip_sweep () in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ "flip interval (us)"; "DCTCP (Gbps)"; "MTP (Gbps)"; "MTP/DCTCP" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_rowf table "%d | %.1f | %.1f | %.2f" r.flip_us
+        r.dctcp_gbps r.mtp_gbps r.ratio)
+    rows;
+  let fastest = List.hd rows and slowest = List.nth rows (List.length rows - 1) in
+  Exp_common.make
+    ~title:"Sweep: Fig 5 vs path-alternation frequency"
+    ~table
+    ~notes:
+      [ Printf.sprintf
+          "MTP's advantage is %.2fx at %dus flips and %.2fx at %dus — \
+           per-pathlet state matters most when paths change faster than a \
+           single window can re-converge"
+          fastest.ratio fastest.flip_us slowest.ratio slowest.flip_us ]
+    ()
+
+let fig6_result () =
+  let rows = fig6_load_sweep () in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ "load"; "ECMP p50/p99 (us)"; "spray p50/p99 (us)";
+          "MTP p50/p99 (us)" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_rowf table "%.1f | %.0f / %.0f | %.0f / %.0f | %.0f / %.0f"
+        r.load r.ecmp_p50_us r.ecmp_p99_us r.spray_p50_us r.spray_p99_us
+        r.mtp_p50_us r.mtp_p99_us)
+    rows;
+  Exp_common.make
+    ~title:"Sweep: Fig 6 FCT vs offered load"
+    ~table
+    ~notes:
+      [ "MTP's SRPT-style sender keeps the median far ahead at every load; \
+         at high load its p99 (the largest ~1% of messages) pays the \
+         classic SRPT price while spraying degrades across the board" ]
+    ()

@@ -1,0 +1,41 @@
+(** Parameter sweeps around the paper's headline figures.
+
+    The paper shows single operating points; these sweeps trace how the
+    comparisons evolve with the key knob of each experiment, which is
+    where the design arguments actually live:
+
+    - {!fig5_flip_sweep}: MTP's advantage over a single-window DCTCP
+      grows as path alternation gets faster relative to convergence
+      time, and vanishes when flips are slow;
+    - {!fig6_load_sweep}: the gap between message-aware placement and
+      ECMP/spraying widens with offered load, spraying degrading
+      fastest (reordering costs scale with queueing). *)
+
+type fig5_row = {
+  flip_us : int;
+  dctcp_gbps : float;
+  mtp_gbps : float;
+  ratio : float;
+}
+
+val fig5_flip_sweep :
+  ?flips_us:int list -> ?duration:Engine.Time.t -> ?seed:int -> unit ->
+  fig5_row list
+
+type fig6_row = {
+  load : float;
+  ecmp_p50_us : float;
+  ecmp_p99_us : float;
+  spray_p50_us : float;
+  spray_p99_us : float;
+  mtp_p50_us : float;
+  mtp_p99_us : float;
+}
+
+val fig6_load_sweep :
+  ?loads:float list -> ?duration:Engine.Time.t -> ?seed:int -> unit ->
+  fig6_row list
+
+val fig5_result : unit -> Exp_common.result
+
+val fig6_result : unit -> Exp_common.result

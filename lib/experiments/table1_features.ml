@@ -1,0 +1,115 @@
+type demos = {
+  mtp_mutation_ok : bool;
+  tcp_reorder_retransmits : int;
+  mtp_cache_hits : int;
+}
+
+(* Demo 1: an in-network compressor mutates MTP messages in flight. *)
+let demo_mutation () =
+  let sim = Engine.Sim.create () in
+  let topo = Netsim.Topology.create sim in
+  let st =
+    Netsim.Topology.star topo ~n:1 ~rate:(Engine.Time.gbps 10)
+      ~delay:(Engine.Time.us 2) ()
+  in
+  ignore
+    (Innetwork.Mutate.install st.Netsim.Topology.st_switch ~dst_port:80
+       ~factor:0.5 ());
+  let client = Mtp.Endpoint.create st.Netsim.Topology.st_clients.(0) in
+  let server = Mtp.Endpoint.create st.Netsim.Topology.st_server in
+  let received = ref 0 in
+  Mtp.Endpoint.bind server ~port:80 (fun d ->
+      received := d.Mtp.Endpoint.dl_size);
+  let completed = ref false in
+  ignore
+    (Mtp.Endpoint.send client
+       ~dst:(Netsim.Node.addr st.Netsim.Topology.st_server) ~dst_port:80
+       ~on_complete:(fun _ -> completed := true)
+       ~size:100_000 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 10) sim;
+  (* Mutation succeeded if the transfer completed end-to-end and the
+     receiver saw roughly half the bytes. *)
+  !completed && !received > 0 && !received < 60_000
+
+(* Demo 2: TCP under per-packet spraying on unequal paths. *)
+let demo_tcp_reorder () =
+  let sim = Engine.Sim.create () in
+  let topo = Netsim.Topology.create sim in
+  let tp =
+    Netsim.Topology.two_path topo ~rate_a:(Engine.Time.gbps 10)
+      ~rate_b:(Engine.Time.gbps 10) ~delay_a:(Engine.Time.us 1)
+      ~delay_b:(Engine.Time.us 20) ~edge_rate:(Engine.Time.gbps 10) ()
+  in
+  Netsim.Switch.set_forward tp.Netsim.Topology.tp_ingress
+    (Netsim.Routing.spray tp.Netsim.Topology.tp_routes);
+  let client = Transport.Tcp.install tp.Netsim.Topology.tp_src in
+  let server = Transport.Tcp.install tp.Netsim.Topology.tp_dst in
+  ignore (Transport.Flowgen.sink server ~port:80);
+  let conn =
+    Transport.Tcp.connect client
+      ~dst:(Netsim.Node.addr tp.Netsim.Topology.tp_dst) ~dst_port:80 ()
+  in
+  Transport.Tcp.send conn 2_000_000;
+  Transport.Tcp.close conn;
+  Engine.Sim.run ~until:(Engine.Time.ms 50) sim;
+  Transport.Tcp.retransmits conn
+
+(* Demo 3: an in-switch cache answers hot keys without the backend. *)
+let demo_cache () =
+  let sim = Engine.Sim.create () in
+  let topo = Netsim.Topology.create sim in
+  let st =
+    Netsim.Topology.star topo ~n:2 ~rate:(Engine.Time.gbps 10)
+      ~delay:(Engine.Time.us 2) ()
+  in
+  let server_ep = Mtp.Endpoint.create st.Netsim.Topology.st_server in
+  ignore
+    (Innetwork.Kvs.server server_ep ~port:70
+       ~value_size:(fun _ -> 1_000)
+       ());
+  let cache =
+    Innetwork.Cache.install st.Netsim.Topology.st_switch
+      ~server:(Netsim.Node.addr st.Netsim.Topology.st_server) ~server_port:70
+      ~client_port_of:(fun addr -> addr (* star ports follow host order *))
+      ()
+  in
+  (* Star wiring: client i is switch port i. *)
+  let client_ep = Mtp.Endpoint.create st.Netsim.Topology.st_clients.(0) in
+  let kvs_client = Innetwork.Kvs.client client_ep in
+  (* Sequential requests for one hot key: the first misses and teaches
+     the cache (it watches the reply), the rest hit in-network. *)
+  let rec ask remaining =
+    if remaining > 0 then
+      Innetwork.Kvs.get kvs_client
+        ~server:(Netsim.Node.addr st.Netsim.Topology.st_server)
+        ~server_port:70 ~key:7
+        ~on_reply:(fun ~size:_ ~latency:_ -> ask (remaining - 1))
+        ()
+  in
+  ask 5;
+  Engine.Sim.run ~until:(Engine.Time.ms 10) sim;
+  Innetwork.Cache.hits cache
+
+let run_demos () =
+  { mtp_mutation_ok = demo_mutation ();
+    tcp_reorder_retransmits = demo_tcp_reorder ();
+    mtp_cache_hits = demo_cache () }
+
+let result () =
+  let demos = run_demos () in
+  Exp_common.make
+    ~title:"Table 1: transport feature matrix (derived, with live demos)"
+    ~table:(Mtp.Features.table ())
+    ~notes:
+      [ Printf.sprintf
+          "demo - in-switch compression mutated an MTP message and the \
+           transfer completed: %b"
+          demos.mtp_mutation_ok;
+        Printf.sprintf
+          "demo - TCP over sprayed unequal paths suffered %d spurious \
+           retransmits"
+          demos.tcp_reorder_retransmits;
+        Printf.sprintf
+          "demo - in-network cache answered %d requests without the backend"
+          demos.mtp_cache_hits ]
+    ()

@@ -1,0 +1,22 @@
+(** Paper Table 1: the transport feature matrix, derived from the
+    capability model in {!Mtp.Features} and cross-checked against live
+    demonstrations of three of the cells (a UDP mutation pass-through,
+    a TCP reordering penalty, an MTP in-network cache interposition). *)
+
+val result : unit -> Exp_common.result
+
+type demos = {
+  mtp_mutation_ok : bool;
+      (** An in-switch compressor changed a message's size and the MTP
+          transfer still completed — the Data Mutation cell. *)
+  tcp_reorder_retransmits : int;
+      (** Spurious retransmits when spraying TCP over unequal paths —
+          the Inter-Message Independence failure. *)
+  mtp_cache_hits : int;
+      (** Requests answered in-network without touching the backend —
+          the interposition MTP's independence enables. *)
+}
+
+val run_demos : unit -> demos
+(** Execute the three demonstration scenarios (used by tests and the
+    bench harness to back the table's key cells with behaviour). *)

@@ -1,0 +1,34 @@
+(** ATP-style in-network aggregation for ML training (paper §4).
+
+    [n] workers send per-round gradient messages towards a parameter
+    server.  The switch absorbs each worker's contribution,
+    acknowledges it on the backend's behalf (so worker senders
+    complete), and when all contributions of a round have arrived it
+    injects a single aggregated message to the parameter server —
+    an n-fold traffic reduction on the PS link.
+
+    Gradients here are single- or multi-packet messages with
+    [cookie = round] and [cookie2 = worker id]; aggregation is
+    per (round, packet number), as in ATP's per-fragment reduction. *)
+
+type t
+
+val install :
+  Netsim.Switch.t ->
+  ps:Netsim.Packet.addr ->
+  ps_port:int ->
+  ps_switch_port:int ->
+  workers:int ->
+  unit ->
+  t
+(** Interpose on gradient messages addressed to [ps:ps_port];
+    [ps_switch_port] is the egress port towards the parameter
+    server. *)
+
+val absorbed : t -> int
+(** Worker packets consumed by the aggregator. *)
+
+val injected : t -> int
+(** Aggregated packets emitted towards the PS. *)
+
+val rounds_completed : t -> int

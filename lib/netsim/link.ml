@@ -1,0 +1,58 @@
+type t = {
+  sim : Engine.Sim.t;
+  link_name : string;
+  link_rate : Engine.Time.rate;
+  link_delay : Engine.Time.t;
+  mutable q : Qdisc.t;
+  mutable dst : (Packet.t -> unit) option;
+  mutable taps : (Engine.Time.t -> Packet.t -> unit) list; (* reverse order *)
+  mutable transmitting : bool;
+  mutable sent_bytes : int;
+}
+
+let create sim ~name ~rate ~delay ?qdisc () =
+  let q = match qdisc with Some q -> q | None -> Qdisc.fifo ~cap_pkts:1000 () in
+  { sim; link_name = name; link_rate = rate; link_delay = delay; q;
+    dst = None; taps = []; transmitting = false; sent_bytes = 0 }
+
+let set_dst t handler = t.dst <- Some handler
+
+let add_tap t f = t.taps <- f :: t.taps
+
+let deliver t p =
+  List.iter (fun f -> f (Engine.Sim.now t.sim) p) (List.rev t.taps);
+  match t.dst with
+  | Some handler -> handler p
+  | None -> failwith ("Link " ^ t.link_name ^ ": destination not wired")
+
+let rec transmit_next t =
+  match t.q.Qdisc.dequeue () with
+  | None -> t.transmitting <- false
+  | Some p ->
+    t.transmitting <- true;
+    let tx = Engine.Time.tx_time ~bytes:p.Packet.size ~rate:t.link_rate in
+    ignore
+      (Engine.Sim.after t.sim tx (fun () ->
+           t.sent_bytes <- t.sent_bytes + p.Packet.size;
+           ignore (Engine.Sim.after t.sim t.link_delay (fun () -> deliver t p));
+           transmit_next t))
+
+let send t p =
+  if t.q.Qdisc.enqueue p && not t.transmitting then transmit_next t
+
+let qdisc t = t.q
+
+let set_qdisc t q = t.q <- q
+
+let rate t = t.link_rate
+let delay t = t.link_delay
+let name t = t.link_name
+let bytes_sent t = t.sent_bytes
+let busy t = t.transmitting
+
+let utilization t ~since =
+  let elapsed = Engine.Sim.now t.sim - since in
+  if elapsed <= 0 then 0.0
+  else
+    float_of_int (t.sent_bytes * 8)
+    /. (float_of_int t.link_rate *. Engine.Time.to_float_s elapsed)

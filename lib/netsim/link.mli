@@ -1,0 +1,55 @@
+(** Unidirectional links with an output queue, serialization delay, and
+    propagation delay.
+
+    Model: a packet handed to {!send} enters the link's qdisc.  The
+    transmitter drains the qdisc one packet at a time, occupying the
+    wire for [Time.tx_time ~bytes ~rate]; each packet then arrives at
+    the destination handler one propagation [delay] later.  This is the
+    standard store-and-forward model used by ns-3 point-to-point
+    links. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  name:string ->
+  rate:Engine.Time.rate ->
+  delay:Engine.Time.t ->
+  ?qdisc:Qdisc.t ->
+  unit ->
+  t
+(** [qdisc] defaults to a 1000-packet drop-tail FIFO.  The destination
+    must be wired with {!set_dst} before the first {!send}. *)
+
+val set_dst : t -> (Packet.t -> unit) -> unit
+
+val add_tap : t -> (Engine.Time.t -> Packet.t -> unit) -> unit
+(** Observe every delivered packet (after serialization and
+    propagation), before the destination handler runs.  Taps fire in
+    installation order. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue a packet for transmission.  Drops (qdisc refusals) are
+    counted on the qdisc. *)
+
+val qdisc : t -> Qdisc.t
+
+val set_qdisc : t -> Qdisc.t -> unit
+(** Replace the output queue (e.g. to wrap it with feedback-stamping
+    hooks).  Pending packets in the old qdisc are not migrated; do this
+    at setup time. *)
+
+val rate : t -> Engine.Time.rate
+val delay : t -> Engine.Time.t
+val name : t -> string
+
+val bytes_sent : t -> int
+(** Bytes fully serialized onto the wire so far. *)
+
+val busy : t -> bool
+(** Whether the transmitter currently holds a packet. *)
+
+val utilization : t -> since:Engine.Time.t -> float
+(** Fraction of capacity used between [since] and now, from
+    {!bytes_sent} deltas (callers snapshot bytes themselves for finer
+    accounting); computed as sent bits / (rate * elapsed). *)

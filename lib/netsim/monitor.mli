@@ -1,0 +1,23 @@
+(** Periodic probes over links and queues. *)
+
+val queue_depth :
+  Engine.Sim.t ->
+  Qdisc.t ->
+  interval:Engine.Time.t ->
+  ?name:string ->
+  ?until:Engine.Time.t ->
+  unit ->
+  Stats.Timeseries.t
+(** Sample a qdisc's queued bytes every [interval]; stops after
+    [until] when given. *)
+
+val link_throughput :
+  Engine.Sim.t ->
+  Link.t ->
+  interval:Engine.Time.t ->
+  ?name:string ->
+  ?until:Engine.Time.t ->
+  unit ->
+  Stats.Timeseries.t
+(** Per-interval achieved rate of a link in Gbps, from
+    {!Link.bytes_sent} deltas. *)

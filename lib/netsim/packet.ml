@@ -1,0 +1,46 @@
+type addr = int
+
+type proto = ..
+
+type proto += Raw
+
+type t = {
+  uid : int;
+  src : addr;
+  dst : addr;
+  mutable size : int;
+  mutable ecn_ce : bool;
+  mutable trimmed : bool;
+  entity : int;
+  prio : int;
+  flow_hash : int;
+  created_at : Engine.Time.t;
+  mutable payload : proto;
+}
+
+let next_uid = ref 0
+
+let make ?(entity = 0) ?(prio = 0) ?(flow_hash = 0) ?(payload = Raw) ~now ~src
+    ~dst ~size () =
+  if size <= 0 then invalid_arg "Packet.make: size must be positive";
+  incr next_uid;
+  { uid = !next_uid; src; dst; size; ecn_ce = false; trimmed = false;
+    entity; prio; flow_hash; created_at = now; payload }
+
+(* FNV-1a over the four tuple components: stable across runs, well
+   spread in the low bits used for ECMP modulo. *)
+let flow_hash_of ~src ~dst ~src_port ~dst_port =
+  let fnv h x =
+    let h = h lxor (x land 0xffff) in
+    h * 0x01000193 land max_int
+  in
+  let h = 0x811c9dc5 in
+  let h = fnv h src in
+  let h = fnv h dst in
+  let h = fnv h src_port in
+  fnv h dst_port
+
+let pp fmt t =
+  Format.fprintf fmt "pkt#%d %d->%d %dB%s%s" t.uid t.src t.dst t.size
+    (if t.ecn_ce then " CE" else "")
+    (if t.trimmed then " TRIM" else "")

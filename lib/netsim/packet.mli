@@ -1,0 +1,51 @@
+(** Simulated packets.
+
+    A packet carries bookkeeping common to every protocol (addresses,
+    wire size, ECN/trim bits, entity tag) plus a protocol payload.
+    The payload type is an extensible variant so each transport library
+    adds its own header type without [netsim] depending on it. *)
+
+type addr = int
+(** Host/endpoint address.  Allocated by {!Topology}. *)
+
+type proto = ..
+(** Protocol payloads; extended by transport libraries. *)
+
+type proto += Raw
+(** Opaque payload with no protocol header. *)
+
+type t = {
+  uid : int;  (** Unique per packet; retained across forwarding. *)
+  src : addr;
+  dst : addr;
+  mutable size : int;
+      (** Total wire size in bytes (headers + payload).  Mutable so
+          in-network offloads can mutate data (compression, trimming). *)
+  mutable ecn_ce : bool;  (** Congestion Experienced mark. *)
+  mutable trimmed : bool;  (** Payload removed by an NDP-style qdisc. *)
+  entity : int;
+      (** Provenance tag (tenant / traffic class) used by per-entity
+          policies; [0] when unused. *)
+  prio : int;  (** Scheduling priority; lower is more urgent. *)
+  flow_hash : int;  (** Flow identifier hash for ECMP-style choices. *)
+  created_at : Engine.Time.t;
+  mutable payload : proto;
+}
+
+val make :
+  ?entity:int ->
+  ?prio:int ->
+  ?flow_hash:int ->
+  ?payload:proto ->
+  now:Engine.Time.t ->
+  src:addr ->
+  dst:addr ->
+  size:int ->
+  unit ->
+  t
+(** Fresh packet with a new [uid].  [size] must be positive. *)
+
+val flow_hash_of : src:addr -> dst:addr -> src_port:int -> dst_port:int -> int
+(** Deterministic 5-tuple-style hash for ECMP. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,301 @@
+type t = {
+  name : string;
+  enqueue : Packet.t -> bool;
+  dequeue : unit -> Packet.t option;
+  byte_length : unit -> int;
+  pkt_length : unit -> int;
+  drops : unit -> int;
+  marks : unit -> int;
+  max_bytes_seen : unit -> int;
+}
+
+(* A byte-counting FIFO used as the building block of every policy. *)
+module F = struct
+  type fifo = {
+    q : Packet.t Queue.t;
+    mutable bytes : int;
+    mutable max_bytes : int;
+  }
+
+  let create () = { q = Queue.create (); bytes = 0; max_bytes = 0 }
+
+  let push f p =
+    Queue.push p f.q;
+    f.bytes <- f.bytes + p.Packet.size;
+    if f.bytes > f.max_bytes then f.max_bytes <- f.bytes
+
+  let pop f =
+    match Queue.take_opt f.q with
+    | None -> None
+    | Some p ->
+      f.bytes <- f.bytes - p.Packet.size;
+      Some p
+
+  let len f = Queue.length f.q
+end
+
+let fifo ?cap_bytes ~cap_pkts () =
+  let f = F.create () in
+  let drops = ref 0 in
+  let enqueue p =
+    let over_bytes =
+      match cap_bytes with
+      | None -> false
+      | Some cap -> f.F.bytes + p.Packet.size > cap
+    in
+    if F.len f >= cap_pkts || over_bytes then begin
+      incr drops;
+      false
+    end
+    else begin
+      F.push f p;
+      true
+    end
+  in
+  { name = "fifo";
+    enqueue;
+    dequeue = (fun () -> F.pop f);
+    byte_length = (fun () -> f.F.bytes);
+    pkt_length = (fun () -> F.len f);
+    drops = (fun () -> !drops);
+    marks = (fun () -> 0);
+    max_bytes_seen = (fun () -> f.F.max_bytes) }
+
+let ecn ?cap_bytes ~cap_pkts ~mark_threshold () =
+  let inner = fifo ?cap_bytes ~cap_pkts () in
+  let marks = ref 0 in
+  let enqueue p =
+    if inner.pkt_length () >= mark_threshold && not p.Packet.ecn_ce then begin
+      p.Packet.ecn_ce <- true;
+      incr marks
+    end;
+    inner.enqueue p
+  in
+  { inner with name = "ecn"; enqueue; marks = (fun () -> !marks) }
+
+let red ~rng ?(weight = 0.002) ?(max_p = 0.1) ~cap_pkts ~min_th ~max_th () =
+  if not (0 <= min_th && min_th < max_th && max_th <= cap_pkts) then
+    invalid_arg "Qdisc.red: thresholds";
+  let inner = fifo ~cap_pkts () in
+  let marks = ref 0 in
+  let avg = ref 0.0 in
+  let enqueue p =
+    let depth = float_of_int (inner.pkt_length ()) in
+    avg := ((1.0 -. weight) *. !avg) +. (weight *. depth);
+    let mark_probability =
+      if !avg < float_of_int min_th then 0.0
+      else if !avg >= float_of_int max_th then 1.0
+      else
+        max_p
+        *. (!avg -. float_of_int min_th)
+        /. float_of_int (max_th - min_th)
+    in
+    if
+      mark_probability > 0.0
+      && (not p.Packet.ecn_ce)
+      && Engine.Rng.float rng < mark_probability
+    then begin
+      p.Packet.ecn_ce <- true;
+      incr marks
+    end;
+    inner.enqueue p
+  in
+  { inner with name = "red"; enqueue; marks = (fun () -> !marks) }
+
+let trimming ~cap_pkts ~header_size () =
+  let data = F.create () in
+  let headers = F.create () in
+  let drops = ref 0 in
+  let header_cap = 8 * cap_pkts in
+  let enqueue p =
+    if F.len data < cap_pkts then begin
+      F.push data p;
+      true
+    end
+    else if F.len headers < header_cap then begin
+      p.Packet.trimmed <- true;
+      p.Packet.size <- min p.Packet.size header_size;
+      F.push headers p;
+      true
+    end
+    else begin
+      incr drops;
+      false
+    end
+  in
+  let dequeue () =
+    match F.pop headers with Some p -> Some p | None -> F.pop data
+  in
+  { name = "trimming";
+    enqueue;
+    dequeue;
+    byte_length = (fun () -> data.F.bytes + headers.F.bytes);
+    pkt_length = (fun () -> F.len data + F.len headers);
+    drops = (fun () -> !drops);
+    marks = (fun () -> 0);
+    max_bytes_seen = (fun () -> data.F.max_bytes) }
+
+let priority ~levels ~cap_pkts () =
+  assert (levels > 0);
+  let queues = Array.init levels (fun _ -> F.create ()) in
+  let drops = ref 0 in
+  let clamp prio = max 0 (min (levels - 1) prio) in
+  let enqueue p =
+    let f = queues.(clamp p.Packet.prio) in
+    if F.len f >= cap_pkts then begin
+      incr drops;
+      false
+    end
+    else begin
+      F.push f p;
+      true
+    end
+  in
+  let rec dequeue_from i =
+    if i >= levels then None
+    else match F.pop queues.(i) with Some p -> Some p | None -> dequeue_from (i + 1)
+  in
+  let sum get = Array.fold_left (fun acc f -> acc + get f) 0 queues in
+  { name = "priority";
+    enqueue;
+    dequeue = (fun () -> dequeue_from 0);
+    byte_length = (fun () -> sum (fun f -> f.F.bytes));
+    pkt_length = (fun () -> sum F.len);
+    drops = (fun () -> !drops);
+    marks = (fun () -> 0);
+    max_bytes_seen = (fun () -> sum (fun f -> f.F.max_bytes)) }
+
+let wrr ?mark_threshold ~classify ~weights ~cap_pkts () =
+  let n = Array.length weights in
+  assert (n > 0);
+  let queues = Array.init n (fun _ -> F.create ()) in
+  let deficits = Array.make n 0 in
+  let quantum = 1514 in
+  let drops = ref 0 in
+  let marks = ref 0 in
+  let current = ref 0 in
+  let enqueue p =
+    let c = max 0 (min (n - 1) (classify p)) in
+    let f = queues.(c) in
+    (match mark_threshold with
+    | Some k when F.len f >= k && not p.Packet.ecn_ce ->
+      p.Packet.ecn_ce <- true;
+      incr marks
+    | Some _ | None -> ());
+    if F.len f >= cap_pkts then begin
+      incr drops;
+      false
+    end
+    else begin
+      F.push f p;
+      true
+    end
+  in
+  (* Deficit round robin: visit classes cyclically, topping up the
+     deficit by weight*quantum on each visit, sending while the head
+     packet fits the deficit. *)
+  let dequeue () =
+    let total = Array.fold_left (fun acc f -> acc + F.len f) 0 queues in
+    if total = 0 then None
+    else begin
+      let result = ref None in
+      while !result = None do
+        let c = !current in
+        let f = queues.(c) in
+        if F.len f = 0 then begin
+          deficits.(c) <- 0;
+          current := (c + 1) mod n
+        end
+        else begin
+          (match Queue.peek_opt f.F.q with
+          | Some head when head.Packet.size <= deficits.(c) ->
+            deficits.(c) <- deficits.(c) - head.Packet.size;
+            result := F.pop f
+          | Some _ | None ->
+            deficits.(c) <- deficits.(c) + (weights.(c) * quantum);
+            current := (c + 1) mod n)
+        end
+      done;
+      !result
+    end
+  in
+  let sum get = Array.fold_left (fun acc f -> acc + get f) 0 queues in
+  { name = "wrr";
+    enqueue;
+    dequeue;
+    byte_length = (fun () -> sum (fun f -> f.F.bytes));
+    pkt_length = (fun () -> sum F.len);
+    drops = (fun () -> !drops);
+    marks = (fun () -> !marks);
+    max_bytes_seen = (fun () -> sum (fun f -> f.F.max_bytes)) }
+
+let fair_mark ~classify ?shares ~cap_pkts ~mark_threshold () =
+  let inner = fifo ~cap_pkts () in
+  let marks = ref 0 in
+  (* Arrival-rate share estimation over a ring of recent arrivals:
+     robust against window bursts, unlike instantaneous occupancy. *)
+  let history = 512 in
+  let ring = Array.make history (-1) in
+  let ring_counts : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let ring_pos = ref 0 in
+  let ring_filled = ref 0 in
+  let count c =
+    match Hashtbl.find_opt ring_counts c with Some n -> n | None -> 0
+  in
+  let note_arrival c =
+    let old = ring.(!ring_pos) in
+    if old >= 0 then begin
+      let n = count old - 1 in
+      if n <= 0 then Hashtbl.remove ring_counts old
+      else Hashtbl.replace ring_counts old n
+    end;
+    ring.(!ring_pos) <- c;
+    Hashtbl.replace ring_counts c (count c + 1);
+    ring_pos := (!ring_pos + 1) mod history;
+    if !ring_filled < history then incr ring_filled
+  in
+  let share_of c =
+    match shares with
+    | Some arr when c >= 0 && c < Array.length arr -> arr.(c)
+    | Some _ | None ->
+      let active = max 1 (Hashtbl.length ring_counts) in
+      1.0 /. float_of_int active
+  in
+  let enqueue p =
+    let c = classify p in
+    note_arrival c;
+    let depth = inner.pkt_length () in
+    if depth >= mark_threshold && not p.Packet.ecn_ce then begin
+      let mine = float_of_int (count c) in
+      let allowed =
+        share_of c *. float_of_int (max 1 !ring_filled) *. 1.1
+      in
+      if mine > allowed then begin
+        p.Packet.ecn_ce <- true;
+        incr marks
+      end
+    end;
+    inner.enqueue p
+  in
+  { inner with name = "fair_mark"; enqueue; marks = (fun () -> !marks) }
+
+let with_hooks ?on_enqueue ?on_drop ?on_dequeue inner =
+  let run hook p = match hook with None -> () | Some f -> f p in
+  let enqueue p =
+    if inner.enqueue p then begin
+      run on_enqueue p;
+      true
+    end
+    else begin
+      run on_drop p;
+      false
+    end
+  in
+  let dequeue () =
+    match inner.dequeue () with
+    | None -> None
+    | Some p ->
+      run on_dequeue p;
+      Some p
+  in
+  { inner with enqueue; dequeue }

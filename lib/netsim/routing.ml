@@ -1,0 +1,43 @@
+type t = {
+  table : (Packet.addr, int array) Hashtbl.t;
+  spray_counters : (Packet.addr, int ref) Hashtbl.t;
+}
+
+let create () = { table = Hashtbl.create 16; spray_counters = Hashtbl.create 16 }
+
+let add t dst port =
+  let existing =
+    match Hashtbl.find_opt t.table dst with Some a -> a | None -> [||]
+  in
+  Hashtbl.replace t.table dst (Array.append existing [| port |])
+
+let ports_for t dst =
+  match Hashtbl.find_opt t.table dst with Some a -> a | None -> [||]
+
+let static t p =
+  let ports = ports_for t p.Packet.dst in
+  if Array.length ports = 0 then Switch.Drop else Switch.Forward ports.(0)
+
+let ecmp t p =
+  let ports = ports_for t p.Packet.dst in
+  let n = Array.length ports in
+  if n = 0 then Switch.Drop
+  else Switch.Forward ports.(p.Packet.flow_hash mod n)
+
+let spray t p =
+  let ports = ports_for t p.Packet.dst in
+  let n = Array.length ports in
+  if n = 0 then Switch.Drop
+  else begin
+    let counter =
+      match Hashtbl.find_opt t.spray_counters p.Packet.dst with
+      | Some c -> c
+      | None ->
+        let c = ref 0 in
+        Hashtbl.add t.spray_counters p.Packet.dst c;
+        c
+    in
+    let choice = !counter mod n in
+    incr counter;
+    Switch.Forward ports.(choice)
+  end

@@ -1,0 +1,29 @@
+(** Forwarding helpers for switches.
+
+    A routing table maps destination addresses to one or more egress
+    ports; the selectors below turn the table into a forwarding
+    function with different multipath behaviours. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Packet.addr -> int -> unit
+(** Register an egress port for a destination.  Multiple registrations
+    make the destination multipath. *)
+
+val ports_for : t -> Packet.addr -> int array
+(** Ports registered for a destination (empty when unknown). *)
+
+val static : t -> Packet.t -> Switch.action
+(** Always the first registered port; [Drop] when unknown. *)
+
+val ecmp : t -> Packet.t -> Switch.action
+(** Pick among the registered ports by {!Packet.t.flow_hash}: all
+    packets of a flow share a path, but different flows may collide on
+    one path — the paper's Fig. 6 ECMP baseline. *)
+
+val spray : t -> Packet.t -> Switch.action
+(** Per-packet round robin over the registered ports (per-destination
+    counter) — the paper's Fig. 6 packet-spraying baseline.  Causes
+    reordering when path delays differ. *)

@@ -1,0 +1,63 @@
+type action = Forward of int | Drop | Consume
+
+type verdict = Continue | Absorb
+
+type t = {
+  sim : Engine.Sim.t;
+  switch_name : string;
+  mutable ports : Link.t array;
+  mutable forward : (Packet.t -> action) option;
+  mutable hooks : (Packet.t -> verdict) list; (* reverse order *)
+  mutable taps : (Engine.Time.t -> Packet.t -> unit) list; (* reverse order *)
+  mutable n_forwarded : int;
+  mutable n_dropped : int;
+  mutable n_consumed : int;
+}
+
+let create sim ~name =
+  { sim; switch_name = name; ports = [||]; forward = None; hooks = [];
+    taps = []; n_forwarded = 0; n_dropped = 0; n_consumed = 0 }
+
+let name t = t.switch_name
+let sim t = t.sim
+
+let add_port t link =
+  t.ports <- Array.append t.ports [| link |];
+  Array.length t.ports - 1
+
+let port t i = t.ports.(i)
+let port_count t = Array.length t.ports
+
+let set_forward t f = t.forward <- Some f
+
+let add_ingress_hook t hook = t.hooks <- hook :: t.hooks
+
+let add_tap t f = t.taps <- f :: t.taps
+
+let inject t ~port p =
+  t.n_forwarded <- t.n_forwarded + 1;
+  Link.send t.ports.(port) p
+
+let receive t p =
+  List.iter (fun f -> f (Engine.Sim.now t.sim) p) (List.rev t.taps);
+  let rec run_hooks = function
+    | [] -> Continue
+    | hook :: rest -> (
+      match hook p with Absorb -> Absorb | Continue -> run_hooks rest)
+  in
+  match run_hooks (List.rev t.hooks) with
+  | Absorb -> t.n_consumed <- t.n_consumed + 1
+  | Continue -> (
+    match t.forward with
+    | None -> failwith ("Switch " ^ t.switch_name ^ ": no forwarding function")
+    | Some f -> (
+      match f p with
+      | Forward i ->
+        t.n_forwarded <- t.n_forwarded + 1;
+        Link.send t.ports.(i) p
+      | Drop -> t.n_dropped <- t.n_dropped + 1
+      | Consume -> t.n_consumed <- t.n_consumed + 1))
+
+let forwarded t = t.n_forwarded
+let dropped t = t.n_dropped
+let consumed t = t.n_consumed

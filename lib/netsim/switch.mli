@@ -1,0 +1,48 @@
+(** Output-queued switches with programmable forwarding and ingress
+    hooks.
+
+    The forwarding function maps a packet to an {!action}.  Ingress
+    hooks run before forwarding and may mutate, absorb, or answer
+    packets — this is how in-network offloads (caches, load balancers,
+    aggregators) and MTP feedback logic attach to the data plane. *)
+
+type t
+
+type action =
+  | Forward of int  (** Egress on the given port. *)
+  | Drop  (** Discard (counted). *)
+  | Consume  (** Absorbed by device logic (offloads). *)
+
+type verdict =
+  | Continue  (** Proceed to the next hook / forwarding. *)
+  | Absorb  (** Packet fully handled by the hook. *)
+
+val create : Engine.Sim.t -> name:string -> t
+
+val name : t -> string
+val sim : t -> Engine.Sim.t
+
+val add_port : t -> Link.t -> int
+(** Register an egress link; returns its port number. *)
+
+val port : t -> int -> Link.t
+val port_count : t -> int
+
+val set_forward : t -> (Packet.t -> action) -> unit
+
+val add_ingress_hook : t -> (Packet.t -> verdict) -> unit
+(** Hooks run in registration order. *)
+
+val add_tap : t -> (Engine.Time.t -> Packet.t -> unit) -> unit
+(** Observe every packet entering the switch (before hooks and
+    forwarding); purely passive. *)
+
+val receive : t -> Packet.t -> unit
+(** Entry point wired as the destination of incoming links. *)
+
+val inject : t -> port:int -> Packet.t -> unit
+(** Emit a device-generated packet (offload responses, NACKs). *)
+
+val forwarded : t -> int
+val dropped : t -> int
+val consumed : t -> int

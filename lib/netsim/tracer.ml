@@ -1,0 +1,75 @@
+type entry = {
+  at : Engine.Time.t;
+  point : string;
+  uid : int;
+  src : Packet.addr;
+  dst : Packet.addr;
+  size : int;
+  ecn_ce : bool;
+  trimmed : bool;
+  entity : int;
+  info : string;
+}
+
+type t = {
+  capacity : int;
+  mutable ring : entry list; (* newest first *)
+  mutable retained : int;
+  mutable total : int;
+}
+
+let printers : (Packet.proto -> string option) list ref = ref []
+
+let register_printer f = printers := f :: !printers
+
+let describe payload =
+  let rec first = function
+    | [] -> ( match payload with Packet.Raw -> "raw" | _ -> "?")
+    | p :: rest -> ( match p payload with Some s -> s | None -> first rest)
+  in
+  first !printers
+
+let create ?(capacity = 65_536) () =
+  assert (capacity > 0);
+  { capacity; ring = []; retained = 0; total = 0 }
+
+let record t ~point (pkt : Packet.t) ~at =
+  let entry =
+    { at; point; uid = pkt.Packet.uid; src = pkt.Packet.src;
+      dst = pkt.Packet.dst; size = pkt.Packet.size;
+      ecn_ce = pkt.Packet.ecn_ce; trimmed = pkt.Packet.trimmed;
+      entity = pkt.Packet.entity; info = describe pkt.Packet.payload }
+  in
+  t.ring <- entry :: t.ring;
+  t.total <- t.total + 1;
+  t.retained <- t.retained + 1;
+  if t.retained > t.capacity then begin
+    (* Amortized trim: drop the oldest half. *)
+    let keep = t.capacity / 2 in
+    t.ring <- List.filteri (fun i _ -> i < keep) t.ring;
+    t.retained <- keep
+  end
+
+let tap_link t link =
+  let name = Link.name link in
+  Link.add_tap link (fun now pkt -> record t ~point:name pkt ~at:now)
+
+let tap_switch t sw =
+  let name = Switch.name sw in
+  Switch.add_tap sw (fun now pkt -> record t ~point:name pkt ~at:now)
+
+let entries t = List.rev t.ring
+
+let count t = t.total
+
+let filter t ~f = List.filter f (entries t)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%8.2fus %-16s #%-6d %d->%d %5dB e%d %s%s%s"
+    (Engine.Time.to_float_us e.at)
+    e.point e.uid e.src e.dst e.size e.entity e.info
+    (if e.ecn_ce then " CE" else "")
+    (if e.trimmed then " TRIM" else "")
+
+let dump fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (entries t)

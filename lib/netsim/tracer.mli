@@ -1,0 +1,49 @@
+(** Packet-level tracing: a tcpdump for the simulator.
+
+    A tracer taps links (on transmit completion) and switches (on
+    ingress) and records one entry per observed packet into a bounded
+    ring.  Experiments use it for debugging; tests use it to assert
+    on packet-level behaviour (ordering, paths taken, mutation). *)
+
+type entry = {
+  at : Engine.Time.t;
+  point : string;  (** Link or switch name. *)
+  uid : int;
+  src : Packet.addr;
+  dst : Packet.addr;
+  size : int;
+  ecn_ce : bool;
+  trimmed : bool;
+  entity : int;
+  info : string;  (** Protocol summary (via the registered printers). *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 65536) bounds retained entries (oldest
+    dropped). *)
+
+val tap_link : t -> Link.t -> unit
+(** Record every packet the link delivers (after serialization and
+    propagation).  Install after the link's destination is wired. *)
+
+val tap_switch : t -> Switch.t -> unit
+(** Record every packet entering the switch. *)
+
+val register_printer : (Packet.proto -> string option) -> unit
+(** Protocol libraries register a summary printer for their payloads
+    (first matching printer wins, newest first).  Global, like the
+    extensible variant it prints. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val count : t -> int
+(** Total packets observed (including ones no longer retained). *)
+
+val filter : t -> f:(entry -> bool) -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : Format.formatter -> t -> unit

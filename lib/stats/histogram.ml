@@ -1,0 +1,81 @@
+type scale = Linear | Log
+
+type t = {
+  scale : scale;
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create_linear ~lo ~hi ~buckets =
+  if buckets <= 0 || hi <= lo then invalid_arg "Histogram.create_linear";
+  { scale = Linear; lo; hi; counts = Array.make buckets 0;
+    under = 0; over = 0; total = 0 }
+
+let create_log ~lo ~hi ~buckets =
+  if buckets <= 0 || hi <= lo || lo <= 0.0 then
+    invalid_arg "Histogram.create_log";
+  { scale = Log; lo; hi; counts = Array.make buckets 0;
+    under = 0; over = 0; total = 0 }
+
+let position t v =
+  match t.scale with
+  | Linear -> (v -. t.lo) /. (t.hi -. t.lo)
+  | Log ->
+    if v <= 0.0 then -1.0
+    else (log v -. log t.lo) /. (log t.hi -. log t.lo)
+
+let add_many t v n =
+  assert (n >= 0);
+  t.total <- t.total + n;
+  let buckets = Array.length t.counts in
+  let pos = position t v in
+  if pos < 0.0 then t.under <- t.under + n
+  else if pos >= 1.0 then t.over <- t.over + n
+  else begin
+    let idx = int_of_float (pos *. float_of_int buckets) in
+    let idx = min (buckets - 1) idx in
+    t.counts.(idx) <- t.counts.(idx) + n
+  end
+
+let add t v = add_many t v 1
+
+let count t = t.total
+
+let bucket_count t = Array.length t.counts
+
+let bound t frac =
+  match t.scale with
+  | Linear -> t.lo +. (frac *. (t.hi -. t.lo))
+  | Log -> exp (log t.lo +. (frac *. (log t.hi -. log t.lo)))
+
+let bucket_range t i =
+  let n = float_of_int (Array.length t.counts) in
+  (bound t (float_of_int i /. n), bound t (float_of_int (i + 1) /. n))
+
+let bucket_value t i = t.counts.(i)
+
+let underflow t = t.under
+let overflow t = t.over
+
+let cdf t =
+  let total = max 1 t.total in
+  let acc = ref t.under in
+  List.init (Array.length t.counts) (fun i ->
+      acc := !acc + t.counts.(i);
+      let _, hi = bucket_range t i in
+      (hi, float_of_int !acc /. float_of_int total))
+
+let pp fmt t =
+  let max_count = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bucket_range t i in
+      let bar = String.make (c * 40 / max_count) '#' in
+      Format.fprintf fmt "[%10.3g, %10.3g) %8d %s@." lo hi c bar)
+    t.counts;
+  if t.under > 0 then Format.fprintf fmt "underflow %d@." t.under;
+  if t.over > 0 then Format.fprintf fmt "overflow %d@." t.over

@@ -1,0 +1,42 @@
+type t = { columns : string list; mutable rev_rows : string list list }
+
+let create ~columns = { columns; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rev_rows <- row :: t.rev_rows
+
+let add_rowf t fmt =
+  Printf.ksprintf
+    (fun s -> add_row t (String.split_on_char '|' s |> List.map String.trim))
+    fmt
+
+let columns t = t.columns
+
+let rows t = List.rev t.rev_rows
+
+let pp fmt t =
+  let all = t.columns :: rows t in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let pp_row row =
+    List.iteri
+      (fun i cell ->
+        let pad = String.make (widths.(i) - String.length cell) ' ' in
+        if i > 0 then Format.pp_print_string fmt "  ";
+        Format.pp_print_string fmt (cell ^ pad))
+      row;
+    Format.pp_print_newline fmt ()
+  in
+  pp_row t.columns;
+  pp_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter pp_row (rows t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,20 @@
+(** Aligned plain-text tables, used by the experiment harness to print
+    the rows the paper's tables/figures report. *)
+
+type t
+
+val create : columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Row length must match the number of columns. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** Convenience: formats a single string and splits it on ['|']. *)
+
+val columns : t -> string list
+
+val rows : t -> string list list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

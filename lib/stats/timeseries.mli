@@ -1,0 +1,37 @@
+(** Time-indexed series of measurements.
+
+    Used by experiment harnesses to record "value at time t" samples
+    (throughput per interval, queue occupancy, window sizes) and emit
+    them as the rows/series the paper's figures plot. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val add : t -> time:Engine.Time.t -> float -> unit
+(** Timestamps must be non-decreasing. *)
+
+val length : t -> int
+
+val points : t -> (Engine.Time.t * float) list
+(** All points, oldest first. *)
+
+val values : t -> float array
+
+val last : t -> (Engine.Time.t * float) option
+
+val mean : t -> float
+
+val max_value : t -> float
+(** 0 when empty. *)
+
+val summary : t -> Summary.t
+(** Fresh summary over the series' values. *)
+
+val between : t -> lo:Engine.Time.t -> hi:Engine.Time.t -> t
+(** Sub-series with timestamps in [\[lo, hi\]]. *)
+
+val pp_rows : ?time_unit:[ `Us | `Ms | `S ] -> Format.formatter -> t -> unit
+(** Two-column ["time value"] rows, one per line. *)

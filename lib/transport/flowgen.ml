@@ -1,0 +1,66 @@
+type sink = { sink_stack : Tcp.t; sink_meter : Stats.Meter.t option }
+
+let sink ?meter stack ~port =
+  Tcp.listen stack ~port (fun conn ->
+      Tcp.set_on_data conn (fun _ n ->
+          match meter with
+          | Some m -> Stats.Meter.count_bytes m n
+          | None -> ()));
+  { sink_stack = stack; sink_meter = meter }
+
+type closed_loop = {
+  cl_stack : Tcp.t;
+  cl_dst : Netsim.Packet.addr;
+  cl_dst_port : int;
+  cl_bytes : int;
+  cl_max : int;
+  cl_on_fct : (Engine.Time.t -> unit) option;
+  mutable cl_sent : int;
+  mutable cl_started : int;
+  mutable cl_running : bool;
+}
+
+let rec launch cl =
+  if cl.cl_running && cl.cl_started < cl.cl_max then begin
+    cl.cl_started <- cl.cl_started + 1;
+    let conn =
+      Tcp.connect cl.cl_stack ~dst:cl.cl_dst ~dst_port:cl.cl_dst_port ()
+    in
+    Tcp.set_on_close conn (fun conn ->
+        cl.cl_sent <- cl.cl_sent + 1;
+        (match cl.cl_on_fct with
+        | Some f ->
+          let fct =
+            match Tcp.closed_at conn with
+            | Some t -> t - Tcp.opened_at conn
+            | None -> 0
+          in
+          f fct
+        | None -> ());
+        launch cl);
+    Tcp.send conn cl.cl_bytes;
+    Tcp.close conn
+  end
+
+let closed_loop stack ~dst ~dst_port ~message_bytes ?(parallel = 1)
+    ?(max_messages = max_int) ?on_fct () =
+  let cl =
+    { cl_stack = stack; cl_dst = dst; cl_dst_port = dst_port;
+      cl_bytes = message_bytes; cl_max = max_messages; cl_on_fct = on_fct;
+      cl_sent = 0; cl_started = 0; cl_running = true }
+  in
+  for _ = 1 to parallel do
+    launch cl
+  done;
+  cl
+
+let messages_sent cl = cl.cl_sent
+
+let stop cl = cl.cl_running <- false
+
+let persistent stack ~dst ~dst_port ?(chunk = 1_000_000) () =
+  let conn = Tcp.connect stack ~dst ~dst_port () in
+  Tcp.set_on_drain conn (fun conn ->
+      if Tcp.send_buffered conn < chunk then Tcp.send conn chunk);
+  Tcp.send conn (2 * chunk);
+  conn

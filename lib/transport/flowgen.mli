@@ -1,0 +1,45 @@
+(** Traffic drivers over TCP connections.
+
+    These encode the paper's usage patterns: persistent flows with many
+    requests per flow, and the pathological one-request-per-flow
+    pattern of Fig. 3 (a fresh connection — handshake, initial window,
+    slow start — for every message). *)
+
+type sink = { sink_stack : Tcp.t; sink_meter : Stats.Meter.t option }
+
+val sink : ?meter:Stats.Meter.t -> Tcp.t -> port:int -> sink
+(** Listen on [port], consume everything, and count delivered bytes
+    into [meter] when given. *)
+
+type closed_loop
+
+val closed_loop :
+  Tcp.t ->
+  dst:Netsim.Packet.addr ->
+  dst_port:int ->
+  message_bytes:int ->
+  ?parallel:int ->
+  ?max_messages:int ->
+  ?on_fct:(Engine.Time.t -> unit) ->
+  unit ->
+  closed_loop
+(** One message per flow, closed loop: open a connection, write
+    [message_bytes], close; when the FIN is acknowledged, record the
+    flow completion time and immediately start the next flow.
+    [parallel] (default 1) independent chains run concurrently. *)
+
+val messages_sent : closed_loop -> int
+
+val stop : closed_loop -> unit
+(** Finish in-flight messages but start no more. *)
+
+val persistent :
+  Tcp.t ->
+  dst:Netsim.Packet.addr ->
+  dst_port:int ->
+  ?chunk:int ->
+  unit ->
+  Tcp.conn
+(** A long-lived backlogged connection: the send buffer is topped up
+    with [chunk] bytes (default 1 MB) whenever it drains — the
+    long-lasting flow of Fig. 5. *)

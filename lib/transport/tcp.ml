@@ -1,0 +1,584 @@
+type cc = Reno | Dctcp of { g : float }
+
+type state = Syn_sent | Established | Closed
+
+type conn = {
+  stack : t;
+  peer : Netsim.Packet.addr;
+  local_port : int;
+  remote_port : int;
+  c_rcv_buf : int;
+  (* --- sender --- *)
+  mutable state : state;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable app_buffer : int; (* written, never transmitted *)
+  mutable fin_pending : bool;
+  mutable fin_seq : int; (* -1 until FIN sent *)
+  mutable cwnd : float; (* bytes *)
+  mutable ssthresh : float;
+  mutable peer_rwnd : int;
+  mutable dupacks : int;
+  mutable recover : int; (* NewReno: in recovery while snd_una < recover *)
+  mutable reduce_end : int; (* ECE response allowed when snd_una >= this *)
+  rtx : Rtx.t;
+  mutable rto_timer : Engine.Sim.handle option;
+  mutable persist_timer : Engine.Sim.handle option;
+  mutable timed_seq : int; (* -1 = no RTT sample outstanding *)
+  mutable timed_at : Engine.Time.t;
+  (* DCTCP *)
+  mutable alpha : float;
+  mutable ce_window_end : int;
+  mutable acked_win : int;
+  mutable marked_win : int;
+  (* --- receiver --- *)
+  mutable rcv_nxt : int;
+  mutable ooo : (int * int) list; (* disjoint sorted [lo, hi) intervals *)
+  mutable remote_fin_seq : int; (* -1 = not seen *)
+  mutable peer_fin_done : bool;
+  mutable delivered : int;
+  mutable buffered : int; (* delivered but unread *)
+  mutable auto_read : bool;
+  (* --- callbacks & accounting --- *)
+  mutable on_data : (conn -> int -> unit) option;
+  mutable on_close : (conn -> unit) option;
+  mutable on_peer_fin : (conn -> unit) option;
+  mutable on_drain : (conn -> unit) option;
+  mutable n_retransmits : int;
+  mutable n_timeouts : int;
+  c_opened_at : Engine.Time.t;
+  mutable c_closed_at : Engine.Time.t option;
+  mutable stall_since : Engine.Time.t option;
+  mutable stall_total : Engine.Time.t;
+}
+
+and t = {
+  t_node : Netsim.Node.t;
+  t_sim : Engine.Sim.t;
+  t_cc : cc;
+  t_mss : int;
+  t_rcv_buf : int;
+  t_snd_buf : int; (* flight cap: models the socket send buffer *)
+  t_init_cwnd : int; (* bytes *)
+  t_min_rto : Engine.Time.t;
+  t_entity : int;
+  conns : (int * int * int, conn) Hashtbl.t; (* local_port, peer, rport *)
+  listeners : (int, int * (conn -> unit)) Hashtbl.t; (* rcv_buf, accept *)
+  mutable next_port : int;
+}
+
+let node t = t.t_node
+let sim t = t.t_sim
+
+let infinite = max_int / 4
+
+(* ------------------------------------------------------------------ *)
+(* Segment emission                                                     *)
+
+let emit conn ?(syn = false) ?(fin = false) ?(is_ack = false) ?(ece = false)
+    ?(probe = false) ~seq ~payload () =
+  let stack = conn.stack in
+  let rwnd = max 0 (conn.c_rcv_buf - conn.buffered) in
+  let seg =
+    { Tcp_wire.src_port = conn.local_port; dst_port = conn.remote_port;
+      seq; ack = conn.rcv_nxt; payload; syn; fin; is_ack; ece; probe; rwnd }
+  in
+  let pkt =
+    Tcp_wire.packet ~now:(Engine.Sim.now stack.t_sim)
+      ~src:(Netsim.Node.addr stack.t_node) ~dst:conn.peer
+      ~entity:stack.t_entity seg
+  in
+  Netsim.Node.send stack.t_node pkt
+
+let send_pure_ack ?(ece = false) conn =
+  emit conn ~is_ack:true ~ece ~seq:conn.snd_nxt ~payload:0 ()
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                               *)
+
+let cancel_timer slot =
+  match slot with Some h -> Engine.Sim.cancel h | None -> ()
+
+let outstanding conn = conn.snd_nxt > conn.snd_una
+
+let rec arm_rto conn =
+  cancel_timer conn.rto_timer;
+  if outstanding conn && conn.state <> Closed then
+    conn.rto_timer <-
+      Some (Engine.Sim.after conn.stack.t_sim (Rtx.rto conn.rtx) (fun () ->
+                on_rto conn))
+  else conn.rto_timer <- None
+
+and on_rto conn =
+  if outstanding conn && conn.state <> Closed then begin
+    conn.n_timeouts <- conn.n_timeouts + 1;
+    let mss = float_of_int conn.stack.t_mss in
+    let flight = float_of_int (conn.snd_nxt - conn.snd_una) in
+    conn.ssthresh <- Float.max (flight /. 2.0) (2.0 *. mss);
+    conn.cwnd <- mss;
+    conn.recover <- conn.snd_nxt;
+    conn.reduce_end <- conn.snd_nxt;
+    conn.dupacks <- 0;
+    Rtx.backoff conn.rtx;
+    retransmit_head conn;
+    arm_rto conn
+  end
+
+(* Rebuild and resend the segment at [snd_una].  Original segment
+   boundaries are not tracked; any MSS-sized slice of the hole is a
+   valid TCP retransmission. *)
+and retransmit_head conn =
+  conn.n_retransmits <- conn.n_retransmits + 1;
+  conn.timed_seq <- -1 (* Karn's rule *);
+  if conn.state = Syn_sent then emit conn ~syn:true ~seq:0 ~payload:0 ()
+  else if conn.fin_seq >= 0 && conn.snd_una = conn.fin_seq then
+    emit conn ~fin:true ~is_ack:true ~seq:conn.fin_seq ~payload:0 ()
+  else begin
+    let data_end = if conn.fin_seq >= 0 then conn.fin_seq else conn.snd_nxt in
+    let payload = min conn.stack.t_mss (data_end - conn.snd_una) in
+    if payload > 0 then
+      emit conn ~is_ack:true ~seq:conn.snd_una ~payload ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sending                                                              *)
+
+let rec try_send conn =
+  if conn.state = Established then begin
+    let mss = conn.stack.t_mss in
+    let buffer_before = conn.app_buffer in
+    let continue = ref true in
+    while !continue do
+      let flight = conn.snd_nxt - conn.snd_una in
+      let wnd =
+        min
+          (min (int_of_float conn.cwnd) conn.peer_rwnd)
+          conn.stack.t_snd_buf
+      in
+      let allowed = wnd - flight in
+      let payload = min mss (min conn.app_buffer (max 0 allowed)) in
+      if payload > 0 then begin
+        note_unstalled conn;
+        if conn.timed_seq < 0 then begin
+          conn.timed_seq <- conn.snd_nxt + payload;
+          conn.timed_at <- Engine.Sim.now conn.stack.t_sim
+        end;
+        emit conn ~is_ack:true ~seq:conn.snd_nxt ~payload ();
+        conn.snd_nxt <- conn.snd_nxt + payload;
+        conn.app_buffer <- conn.app_buffer - payload;
+        if conn.rto_timer = None then arm_rto conn
+      end
+      else continue := false
+    done;
+    (* FIN once the buffer is drained. *)
+    if conn.fin_pending && conn.fin_seq < 0 && conn.app_buffer = 0 then begin
+      conn.fin_seq <- conn.snd_nxt;
+      conn.snd_nxt <- conn.snd_nxt + 1;
+      emit conn ~fin:true ~is_ack:true ~seq:conn.fin_seq ~payload:0 ();
+      arm_rto conn
+    end;
+    (* Blocked by a closed peer window: account the stall and keep a
+       persist probe going so a later window update is not lost. *)
+    if conn.app_buffer > 0
+       && conn.peer_rwnd - (conn.snd_nxt - conn.snd_una) <= 0
+       && conn.peer_rwnd < conn.stack.t_mss
+    then begin
+      note_stalled conn;
+      if conn.persist_timer = None && not (outstanding conn) then
+        arm_persist conn
+    end;
+    if conn.app_buffer < buffer_before then
+      match conn.on_drain with Some f -> f conn | None -> ()
+  end
+
+and note_stalled conn =
+  if conn.stall_since = None then
+    conn.stall_since <- Some (Engine.Sim.now conn.stack.t_sim)
+
+and note_unstalled conn =
+  match conn.stall_since with
+  | None -> ()
+  | Some since ->
+    conn.stall_total <-
+      conn.stall_total + (Engine.Sim.now conn.stack.t_sim - since);
+    conn.stall_since <- None
+
+and arm_persist conn =
+  cancel_timer conn.persist_timer;
+  let interval = max (Engine.Time.us 100) (Rtx.rto conn.rtx) in
+  conn.persist_timer <-
+    Some (Engine.Sim.after conn.stack.t_sim interval (fun () ->
+              conn.persist_timer <- None;
+              if conn.state = Established && conn.app_buffer > 0
+                 && conn.peer_rwnd = 0
+              then begin
+                emit conn ~is_ack:true ~probe:true ~seq:conn.snd_nxt
+                  ~payload:0 ();
+                arm_persist conn
+              end))
+
+(* ------------------------------------------------------------------ *)
+(* Congestion control reactions                                         *)
+
+let mssf conn = float_of_int conn.stack.t_mss
+
+let in_recovery conn = conn.snd_una < conn.recover
+
+let grow_cwnd conn acked_bytes =
+  if not (in_recovery conn) then begin
+    if conn.cwnd < conn.ssthresh then
+      conn.cwnd <- conn.cwnd +. float_of_int acked_bytes
+    else
+      conn.cwnd <-
+        conn.cwnd +. (mssf conn *. float_of_int acked_bytes /. conn.cwnd)
+  end
+
+let enter_loss_recovery conn =
+  let flight = float_of_int (conn.snd_nxt - conn.snd_una) in
+  conn.ssthresh <- Float.max (flight /. 2.0) (2.0 *. mssf conn);
+  conn.cwnd <- conn.ssthresh;
+  conn.recover <- conn.snd_nxt;
+  conn.reduce_end <- conn.snd_nxt;
+  retransmit_head conn;
+  arm_rto conn
+
+let ecn_response conn =
+  (* Once per window of data, like a single loss event. *)
+  if conn.snd_una >= conn.reduce_end then begin
+    (match conn.stack.t_cc with
+    | Reno ->
+      let flight = float_of_int (conn.snd_nxt - conn.snd_una) in
+      conn.ssthresh <- Float.max (flight /. 2.0) (2.0 *. mssf conn);
+      conn.cwnd <- conn.ssthresh
+    | Dctcp _ ->
+      (* Exit slow start (RFC 8257 s3.4); the proportional cwnd cut
+         itself happens at the alpha window boundary below. *)
+      conn.ssthresh <-
+        Float.max
+          (conn.cwnd *. (1.0 -. (conn.alpha /. 2.0)))
+          (2.0 *. mssf conn));
+    conn.reduce_end <- conn.snd_nxt
+  end
+
+let dctcp_account conn ~acked ~ece =
+  match conn.stack.t_cc with
+  | Reno -> ()
+  | Dctcp { g } ->
+    conn.acked_win <- conn.acked_win + acked;
+    if ece then conn.marked_win <- conn.marked_win + acked;
+    if conn.snd_una >= conn.ce_window_end && conn.acked_win > 0 then begin
+      let f =
+        float_of_int conn.marked_win /. float_of_int conn.acked_win
+      in
+      conn.alpha <- ((1.0 -. g) *. conn.alpha) +. (g *. f);
+      if conn.marked_win > 0 then
+        conn.cwnd <-
+          Float.max (mssf conn) (conn.cwnd *. (1.0 -. (conn.alpha /. 2.0)));
+      conn.acked_win <- 0;
+      conn.marked_win <- 0;
+      conn.ce_window_end <- max conn.snd_nxt (conn.snd_una + 1)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* ACK processing                                                       *)
+
+let finish_close conn =
+  if conn.c_closed_at = None then begin
+    conn.c_closed_at <- Some (Engine.Sim.now conn.stack.t_sim);
+    conn.state <- Closed;
+    note_unstalled conn;
+    cancel_timer conn.rto_timer;
+    cancel_timer conn.persist_timer;
+    Hashtbl.remove conn.stack.conns
+      (conn.local_port, conn.peer, conn.remote_port);
+    match conn.on_close with Some f -> f conn | None -> ()
+  end
+
+let process_ack conn (seg : Tcp_wire.t) =
+  let prev_rwnd = conn.peer_rwnd in
+  conn.peer_rwnd <- seg.rwnd;
+  if seg.ack > conn.snd_una then begin
+    let acked = seg.ack - conn.snd_una in
+    let was_in_recovery = in_recovery conn in
+    conn.snd_una <- seg.ack;
+    (* Full ACK ends recovery: deflate the dup-ACK-inflated window back
+       to ssthresh (RFC 6582). *)
+    if was_in_recovery && not (in_recovery conn) then
+      conn.cwnd <- Float.max (2.0 *. mssf conn) conn.ssthresh;
+    conn.dupacks <- 0;
+    Rtx.reset_backoff conn.rtx;
+    if conn.timed_seq >= 0 && seg.ack >= conn.timed_seq then begin
+      Rtx.observe conn.rtx
+        (Engine.Sim.now conn.stack.t_sim - conn.timed_at);
+      conn.timed_seq <- -1
+    end;
+    if in_recovery conn then
+      (* NewReno partial ACK: the next hole is missing too. *)
+      retransmit_head conn
+    else grow_cwnd conn acked;
+    if seg.ece then ecn_response conn;
+    dctcp_account conn ~acked ~ece:seg.ece;
+    arm_rto conn;
+    if conn.fin_seq >= 0 && conn.snd_una > conn.fin_seq then finish_close conn
+    else try_send conn
+  end
+  else if
+    seg.ack = conn.snd_una && outstanding conn && seg.payload = 0
+    && (not seg.syn) && (not seg.fin) && seg.rwnd = prev_rwnd
+  then begin
+    conn.dupacks <- conn.dupacks + 1;
+    if conn.dupacks = 3 && not (in_recovery conn) then enter_loss_recovery conn
+    else if conn.dupacks > 3 && in_recovery conn then begin
+      (* Window inflation: each further dup-ACK means a packet left the
+         network, so let a new one in (keeps the pipe busy during
+         recovery instead of stalling until RTO). *)
+      conn.cwnd <- conn.cwnd +. mssf conn;
+      try_send conn
+    end
+  end
+  else if seg.rwnd <> prev_rwnd then
+    (* Window update. *)
+    try_send conn
+
+(* ------------------------------------------------------------------ *)
+(* Receive path                                                         *)
+
+let read conn n =
+  let n = min n conn.buffered in
+  if n > 0 then begin
+    let avail_before = conn.c_rcv_buf - conn.buffered in
+    conn.buffered <- conn.buffered - n;
+    let avail_after = conn.c_rcv_buf - conn.buffered in
+    if avail_before < conn.stack.t_mss && avail_after >= conn.stack.t_mss
+       && conn.state <> Closed
+    then send_pure_ack conn
+  end
+
+let deliver conn n =
+  if n > 0 then begin
+    conn.delivered <- conn.delivered + n;
+    conn.buffered <- conn.buffered + n;
+    (match conn.on_data with Some f -> f conn n | None -> ());
+    if conn.auto_read then read conn n
+  end
+
+let check_peer_fin conn =
+  if conn.remote_fin_seq >= 0 && conn.rcv_nxt = conn.remote_fin_seq
+     && not conn.peer_fin_done
+  then begin
+    conn.rcv_nxt <- conn.rcv_nxt + 1;
+    conn.peer_fin_done <- true;
+    match conn.on_peer_fin with Some f -> f conn | None -> ()
+  end
+
+(* Insert [lo, hi) into the sorted disjoint interval list. *)
+let rec insert_interval lo hi = function
+  | [] -> [ (lo, hi) ]
+  | (l, h) :: rest ->
+    if hi < l then (lo, hi) :: (l, h) :: rest
+    else if h < lo then (l, h) :: insert_interval lo hi rest
+    else insert_interval (min lo l) (max hi h) rest
+
+let process_data conn (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
+  if seg.fin then
+    conn.remote_fin_seq <- seg.seq + seg.payload;
+  let seq = seg.seq and len = seg.payload in
+  let avail = conn.c_rcv_buf - conn.buffered in
+  if len > 0 then begin
+    if seq = conn.rcv_nxt then begin
+      let accept = min len avail in
+      conn.rcv_nxt <- conn.rcv_nxt + accept;
+      deliver conn accept;
+      (* Pull any now-contiguous out-of-order data. *)
+      let rec merge () =
+        match conn.ooo with
+        | (lo, hi) :: rest when lo <= conn.rcv_nxt ->
+          conn.ooo <- rest;
+          if hi > conn.rcv_nxt then begin
+            let gain = hi - conn.rcv_nxt in
+            conn.rcv_nxt <- hi;
+            deliver conn gain
+          end;
+          merge ()
+        | _ -> ()
+      in
+      merge ()
+    end
+    else if seq > conn.rcv_nxt && seq + len <= conn.rcv_nxt + avail then
+      conn.ooo <- insert_interval seq (seq + len) conn.ooo
+    (* else: old or window-overflowing data; the cumulative ACK below
+       tells the sender where we stand. *)
+  end;
+  check_peer_fin conn;
+  send_pure_ack conn ~ece:pkt.Netsim.Packet.ecn_ce
+
+(* ------------------------------------------------------------------ *)
+(* Connection setup and dispatch                                        *)
+
+let make_conn stack ~peer ~local_port ~remote_port ~rcv_buf ~state =
+  { stack; peer; local_port; remote_port; c_rcv_buf = rcv_buf; state;
+    snd_una = 0; snd_nxt = 0; app_buffer = 0; fin_pending = false;
+    fin_seq = -1; cwnd = float_of_int stack.t_init_cwnd;
+    ssthresh = float_of_int infinite; peer_rwnd = infinite; dupacks = 0;
+    recover = 0; reduce_end = 0;
+    rtx = Rtx.create ~min_rto:stack.t_min_rto ();
+    rto_timer = None; persist_timer = None; timed_seq = -1; timed_at = 0;
+    (* alpha starts at 1 (RFC 8257): the first marked window halves,
+       avoiding the slow-start overshoot a zero alpha would allow. *)
+    alpha = 1.0; ce_window_end = 1; acked_win = 0; marked_win = 0;
+    rcv_nxt = 0; ooo = []; remote_fin_seq = -1; peer_fin_done = false;
+    delivered = 0; buffered = 0; auto_read = true; on_data = None;
+    on_close = None; on_peer_fin = None; on_drain = None;
+    n_retransmits = 0; n_timeouts = 0;
+    c_opened_at = Engine.Sim.now stack.t_sim; c_closed_at = None;
+    stall_since = None; stall_total = 0 }
+
+let handle_syn stack (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
+  match Hashtbl.find_opt stack.listeners seg.dst_port with
+  | None -> ()
+  | Some (rcv_buf, accept) ->
+    let key = (seg.dst_port, pkt.Netsim.Packet.src, seg.src_port) in
+    let conn =
+      match Hashtbl.find_opt stack.conns key with
+      | Some existing -> existing (* duplicate SYN: re-answer *)
+      | None ->
+        let conn =
+          make_conn stack ~peer:pkt.Netsim.Packet.src
+            ~local_port:seg.dst_port ~remote_port:seg.src_port ~rcv_buf
+            ~state:Established
+        in
+        conn.rcv_nxt <- seg.seq + 1;
+        Hashtbl.add stack.conns key conn;
+        accept conn;
+        conn
+    in
+    (* SYN-ACK consumes our sequence byte 0. *)
+    emit conn ~syn:true ~is_ack:true ~seq:0 ~payload:0 ();
+    if conn.snd_nxt = 0 then conn.snd_nxt <- 1
+
+let handle_segment stack (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
+  if seg.syn && not seg.is_ack then handle_syn stack seg pkt
+  else
+    let key = (seg.dst_port, pkt.Netsim.Packet.src, seg.src_port) in
+    match Hashtbl.find_opt stack.conns key with
+    | None -> ()
+    | Some conn ->
+      if seg.syn && seg.is_ack && conn.state = Syn_sent then begin
+        (* Handshake complete on the active side. *)
+        conn.state <- Established;
+        conn.rcv_nxt <- seg.seq + 1;
+        conn.peer_rwnd <- seg.rwnd;
+        if seg.ack > conn.snd_una then conn.snd_una <- seg.ack;
+        Rtx.observe conn.rtx
+          (Engine.Sim.now stack.t_sim - conn.c_opened_at);
+        conn.timed_seq <- -1;
+        cancel_timer conn.rto_timer;
+        conn.rto_timer <- None;
+        send_pure_ack conn;
+        try_send conn
+      end
+      else begin
+        if seg.is_ack then process_ack conn seg;
+        if conn.state <> Closed then begin
+          if seg.payload > 0 || seg.fin then process_data conn seg pkt
+          else if seg.probe then send_pure_ack conn
+        end
+      end
+
+let install ?(cc = Reno) ?(mss = 1460) ?rcv_buf ?snd_buf
+    ?(init_cwnd_pkts = 10) ?(min_rto = Engine.Time.us 50) ?(entity = 0) node
+    =
+  let stack =
+    { t_node = node; t_sim = Netsim.Node.sim node; t_cc = cc; t_mss = mss;
+      t_rcv_buf = (match rcv_buf with Some b -> b | None -> infinite);
+      t_snd_buf = (match snd_buf with Some b -> b | None -> infinite);
+      t_init_cwnd = init_cwnd_pkts * mss; t_min_rto = min_rto;
+      t_entity = entity; conns = Hashtbl.create 32;
+      listeners = Hashtbl.create 4; next_port = 10_000 }
+  in
+  let previous = Netsim.Node.handler node in
+  (* Multiple stacks may coexist on one host (e.g. a host that is both
+     a client and a server): a segment that names no listener or
+     connection of ours falls through to the previously installed
+     handler. *)
+  let concerns_us (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
+    if seg.syn && not seg.is_ack then
+      Hashtbl.mem stack.listeners seg.dst_port
+    else
+      Hashtbl.mem stack.conns
+        (seg.dst_port, pkt.Netsim.Packet.src, seg.src_port)
+  in
+  Netsim.Node.set_handler node (fun pkt ->
+      match pkt.Netsim.Packet.payload with
+      | Tcp_wire.Tcp seg when concerns_us seg pkt ->
+        handle_segment stack seg pkt
+      | _ -> ( match previous with Some h -> h pkt | None -> ()));
+  stack
+
+let listen stack ~port ?rcv_buf accept =
+  let rcv_buf = match rcv_buf with Some b -> b | None -> stack.t_rcv_buf in
+  Hashtbl.replace stack.listeners port (rcv_buf, accept)
+
+let connect stack ~dst ~dst_port ?src_port ?rcv_buf () =
+  let local_port =
+    match src_port with
+    | Some p -> p
+    | None ->
+      stack.next_port <- stack.next_port + 1;
+      stack.next_port
+  in
+  let rcv_buf = match rcv_buf with Some b -> b | None -> stack.t_rcv_buf in
+  let conn =
+    make_conn stack ~peer:dst ~local_port ~remote_port:dst_port ~rcv_buf
+      ~state:Syn_sent
+  in
+  Hashtbl.add stack.conns (local_port, dst, dst_port) conn;
+  emit conn ~syn:true ~seq:0 ~payload:0 ();
+  conn.snd_nxt <- 1;
+  arm_rto conn;
+  conn
+
+(* ------------------------------------------------------------------ *)
+(* Application interface                                                *)
+
+let send conn n =
+  if n < 0 then invalid_arg "Tcp.send: negative";
+  if conn.fin_pending then invalid_arg "Tcp.send: already closed";
+  conn.app_buffer <- conn.app_buffer + n;
+  try_send conn
+
+let close conn =
+  if not conn.fin_pending then begin
+    conn.fin_pending <- true;
+    try_send conn
+  end
+
+let set_auto_read conn flag =
+  conn.auto_read <- flag;
+  if flag then read conn conn.buffered
+
+let set_on_data conn f = conn.on_data <- Some f
+let set_on_drain conn f = conn.on_drain <- Some f
+let set_on_close conn f = conn.on_close <- Some f
+let set_on_peer_fin conn f = conn.on_peer_fin <- Some f
+
+let bytes_delivered conn = conn.delivered
+let rx_buffered conn = conn.buffered
+let send_buffered conn = conn.app_buffer
+let unacked conn = conn.snd_nxt - conn.snd_una
+let cwnd_bytes conn = int_of_float conn.cwnd
+let ssthresh_bytes conn = int_of_float conn.ssthresh
+let srtt conn = Rtx.srtt conn.rtx
+let retransmits conn = conn.n_retransmits
+let timeouts conn = conn.n_timeouts
+let peer_rwnd conn = conn.peer_rwnd
+let is_open conn = conn.state <> Closed
+let opened_at conn = conn.c_opened_at
+let closed_at conn = conn.c_closed_at
+let mss conn = conn.stack.t_mss
+
+let stall_time conn =
+  match conn.stall_since with
+  | None -> conn.stall_total
+  | Some since ->
+    conn.stall_total + (Engine.Sim.now conn.stack.t_sim - since)

@@ -1,0 +1,126 @@
+(** A mechanism-faithful TCP for the simulator.
+
+    Models the pieces of TCP the paper's experiments depend on:
+
+    - byte-stream sequence numbers, cumulative ACKs, out-of-order
+      reassembly (so packet spraying hurts via dup-ACKs);
+    - SYN/SYN-ACK connection establishment (so one-message-per-flow
+      pays a round trip and restarts from slow start);
+    - Reno congestion control — slow start, congestion avoidance, fast
+      retransmit on three duplicate ACKs, NewReno partial-ACK recovery,
+      RTO with exponential backoff;
+    - DCTCP — per-packet CE echo and alpha-proportional window
+      reduction once per window of data;
+    - a finite receive buffer with advertised windows, window updates
+      and zero-window probes (so a terminating proxy exhibits the
+      buffering/HOL-blocking trade-off of Fig. 2).
+
+    No actual payload bytes are carried; all buffers are byte counts. *)
+
+type cc = Reno | Dctcp of { g : float }
+(** Congestion controller.  [g] is DCTCP's alpha EWMA gain (the paper
+    and RFC 8257 use 1/16). *)
+
+type t
+(** A host's TCP stack. *)
+
+type conn
+
+val install :
+  ?cc:cc ->
+  ?mss:int ->
+  ?rcv_buf:int ->
+  ?snd_buf:int ->
+  ?init_cwnd_pkts:int ->
+  ?min_rto:Engine.Time.t ->
+  ?entity:int ->
+  Netsim.Node.t ->
+  t
+(** Install a stack on a host (chains with any previously installed
+    packet handler).  [rcv_buf] (default unbounded) is the default
+    receive buffer for new connections; [snd_buf] (default unbounded)
+    caps bytes in flight like a kernel's socket send buffer — without
+    it, slow start over a deep local queue can overshoot
+    catastrophically; [entity] tags every packet for per-entity network
+    policies.  [mss] defaults to 1460 payload bytes. *)
+
+val node : t -> Netsim.Node.t
+val sim : t -> Engine.Sim.t
+
+val listen : t -> port:int -> ?rcv_buf:int -> (conn -> unit) -> unit
+(** Accept connections on [port]; the callback fires when the SYN
+    arrives.  [rcv_buf] overrides the stack default for accepted
+    connections (the knob a bounded proxy turns). *)
+
+val connect :
+  t ->
+  dst:Netsim.Packet.addr ->
+  dst_port:int ->
+  ?src_port:int ->
+  ?rcv_buf:int ->
+  unit ->
+  conn
+(** Active open; data written with {!send} flows once the handshake
+    completes.  [src_port] overrides the ephemeral allocation (e.g. to
+    model randomized ports for ECMP hashing). *)
+
+(** {1 Data transfer} *)
+
+val send : conn -> int -> unit
+(** Append [n] bytes to the connection's send buffer. *)
+
+val close : conn -> unit
+(** Half-close after all buffered data: sends FIN once the buffer
+    drains; {!set_on_close} fires when the FIN is acknowledged. *)
+
+val read : conn -> int -> unit
+(** Consume [n] bytes from the receive buffer, opening the advertised
+    window (a window-update ACK is sent when the window reopens). *)
+
+val set_auto_read : conn -> bool -> unit
+(** When [true] (default), delivered bytes are consumed immediately —
+    the infinite-application model. *)
+
+val set_on_data : conn -> (conn -> int -> unit) -> unit
+(** Called with each chunk of newly in-order-delivered bytes (before
+    auto-read consumes them). *)
+
+val set_on_close : conn -> (conn -> unit) -> unit
+(** Our FIN was acknowledged: all sent data reached the peer. *)
+
+val set_on_peer_fin : conn -> (conn -> unit) -> unit
+(** The peer's FIN arrived in order: the incoming stream is complete. *)
+
+val set_on_drain : conn -> (conn -> unit) -> unit
+(** Called whenever the send buffer shrinks (bytes left the
+    application buffer for the wire) — back-pressure signal for
+    relaying applications such as the proxy. *)
+
+(** {1 Inspection} *)
+
+val bytes_delivered : conn -> int
+(** Total in-order bytes delivered to the receive buffer. *)
+
+val rx_buffered : conn -> int
+(** Delivered-but-unread bytes (what a bounded proxy buffer holds). *)
+
+val send_buffered : conn -> int
+(** Bytes written but not yet transmitted for the first time. *)
+
+val unacked : conn -> int
+(** Bytes in flight (transmitted, not yet cumulatively acked). *)
+
+val cwnd_bytes : conn -> int
+val ssthresh_bytes : conn -> int
+val srtt : conn -> Engine.Time.t
+val retransmits : conn -> int
+val timeouts : conn -> int
+val peer_rwnd : conn -> int
+val is_open : conn -> bool
+val opened_at : conn -> Engine.Time.t
+val closed_at : conn -> Engine.Time.t option
+val mss : conn -> int
+
+val stall_time : conn -> Engine.Time.t
+(** Cumulative time the sender spent blocked on a closed peer window
+    (receive-window head-of-line blocking, Fig. 2). *)

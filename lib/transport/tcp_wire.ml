@@ -1,0 +1,43 @@
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  payload : int;
+  syn : bool;
+  fin : bool;
+  is_ack : bool;
+  ece : bool;
+  probe : bool;
+  rwnd : int;
+}
+
+type Netsim.Packet.proto += Tcp of t
+
+let header_bytes = 40
+
+let seg_seq_len seg =
+  seg.payload + (if seg.syn then 1 else 0) + if seg.fin then 1 else 0
+
+let packet ~now ~src ~dst ~entity seg =
+  let flow_hash =
+    Netsim.Packet.flow_hash_of ~src ~dst ~src_port:seg.src_port
+      ~dst_port:seg.dst_port
+  in
+  Netsim.Packet.make ~entity ~flow_hash ~payload:(Tcp seg) ~now ~src ~dst
+    ~size:(header_bytes + seg.payload) ()
+
+let pp fmt seg =
+  Format.fprintf fmt "tcp %d->%d seq=%d%s ack=%s%s%s%s len=%d rwnd=%d"
+    seg.src_port seg.dst_port seg.seq
+    (if seg.syn then "(SYN)" else if seg.fin then "(FIN)" else "")
+    (if seg.is_ack then string_of_int seg.ack else "-")
+    (if seg.ece then " ECE" else "")
+    (if seg.probe then " PROBE" else "")
+    "" seg.payload seg.rwnd
+
+(* Tracer integration: human-readable summaries in packet dumps. *)
+let () =
+  Netsim.Tracer.register_printer (function
+    | Tcp seg -> Some (Format.asprintf "%a" pp seg)
+    | _ -> None)

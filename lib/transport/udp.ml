@@ -1,0 +1,84 @@
+type datagram = {
+  src_port : int;
+  dst_port : int;
+  msg_id : int;
+  offset : int;
+  len : int;
+  total : int;
+}
+
+type Netsim.Packet.proto += Udp of datagram
+
+let header_bytes = 28
+
+type t = {
+  u_node : Netsim.Node.t;
+  u_sim : Engine.Sim.t;
+  mtu_payload : int;
+  entity : int;
+  listeners :
+    (int, src:Netsim.Packet.addr -> msg_id:int -> size:int -> unit) Hashtbl.t;
+  partial : (int * int, int) Hashtbl.t; (* (src, msg_id) -> bytes seen *)
+  mutable next_msg : int;
+  mutable rx_bytes : int;
+  mutable completed : int;
+}
+
+let handle t (d : datagram) (pkt : Netsim.Packet.t) =
+  t.rx_bytes <- t.rx_bytes + d.len;
+  match Hashtbl.find_opt t.listeners d.dst_port with
+  | None -> ()
+  | Some cb ->
+    let key = (pkt.Netsim.Packet.src, d.msg_id) in
+    let seen =
+      (match Hashtbl.find_opt t.partial key with Some s -> s | None -> 0)
+      + d.len
+    in
+    if seen >= d.total then begin
+      Hashtbl.remove t.partial key;
+      t.completed <- t.completed + 1;
+      cb ~src:pkt.Netsim.Packet.src ~msg_id:d.msg_id ~size:d.total
+    end
+    else Hashtbl.replace t.partial key seen
+
+let install ?(mtu_payload = 1472) ?(entity = 0) node =
+  let t =
+    { u_node = node; u_sim = Netsim.Node.sim node; mtu_payload; entity;
+      listeners = Hashtbl.create 4; partial = Hashtbl.create 32;
+      next_msg = 0; rx_bytes = 0; completed = 0 }
+  in
+  let previous = Netsim.Node.handler node in
+  Netsim.Node.set_handler node (fun pkt ->
+      match pkt.Netsim.Packet.payload with
+      | Udp d -> handle t d pkt
+      | _ -> ( match previous with Some h -> h pkt | None -> ()));
+  t
+
+let listen t ~port cb = Hashtbl.replace t.listeners port cb
+
+let send t ~dst ~dst_port ~size =
+  let msg_id = t.next_msg in
+  t.next_msg <- t.next_msg + 1;
+  let src = Netsim.Node.addr t.u_node in
+  let src_port = 20_000 in
+  let rec fragment offset =
+    if offset < size then begin
+      let len = min t.mtu_payload (size - offset) in
+      let d = { src_port; dst_port; msg_id; offset; len; total = size } in
+      let pkt =
+        Netsim.Packet.make ~entity:t.entity
+          ~flow_hash:
+            (Netsim.Packet.flow_hash_of ~src ~dst ~src_port ~dst_port)
+          ~payload:(Udp d) ~now:(Engine.Sim.now t.u_sim) ~src ~dst
+          ~size:(header_bytes + len) ()
+      in
+      Netsim.Node.send t.u_node pkt;
+      fragment (offset + len)
+    end
+  in
+  fragment 0;
+  msg_id
+
+let bytes_received t = t.rx_bytes
+
+let messages_completed t = t.completed

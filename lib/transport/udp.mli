@@ -1,0 +1,27 @@
+(** Connectionless datagram transport.
+
+    Messages larger than one MTU are fragmented; the receiver reports a
+    message complete when all fragment bytes have arrived.  There is no
+    reliability and no congestion control — UDP's row in the paper's
+    Table 1. *)
+
+type t
+
+val install : ?mtu_payload:int -> ?entity:int -> Netsim.Node.t -> t
+(** [mtu_payload] defaults to 1472 bytes per fragment. *)
+
+val listen :
+  t ->
+  port:int ->
+  (src:Netsim.Packet.addr -> msg_id:int -> size:int -> unit) ->
+  unit
+(** Completion callback: all bytes of message [msg_id] arrived. *)
+
+val send : t -> dst:Netsim.Packet.addr -> dst_port:int -> size:int -> int
+(** Fire-and-forget a [size]-byte message; returns its message id. *)
+
+val bytes_received : t -> int
+(** Total payload bytes that arrived (including incomplete
+    messages). *)
+
+val messages_completed : t -> int

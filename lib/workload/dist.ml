@@ -1,0 +1,58 @@
+type t = Engine.Rng.t -> float
+
+let constant v _ = v
+
+let uniform ~lo ~hi rng = lo +. ((hi -. lo) *. Engine.Rng.float rng)
+
+let exponential ~mean rng = Engine.Rng.exponential rng ~mean
+
+let pareto ~shape ~scale rng = Engine.Rng.pareto rng ~shape ~scale
+
+let lognormal ~mu ~sigma rng = Engine.Rng.lognormal rng ~mu ~sigma
+
+let empirical points =
+  (match points with
+  | [] -> invalid_arg "Dist.empirical: empty"
+  | _ ->
+    let rec check prev = function
+      | [] -> ()
+      | (_, p) :: rest ->
+        if p < prev then invalid_arg "Dist.empirical: non-monotone";
+        check p rest
+    in
+    check 0.0 points);
+  fun rng ->
+    let u = Engine.Rng.float rng in
+    let rec walk prev_v prev_p = function
+      | [] -> prev_v
+      | (v, p) :: rest ->
+        if u <= p then
+          if p = prev_p then v
+          else prev_v +. ((v -. prev_v) *. (u -. prev_p) /. (p -. prev_p))
+        else walk v p rest
+    in
+    walk (fst (List.hd points)) 0.0 points
+
+let clamped ~lo ~hi t rng = Float.min hi (Float.max lo (t rng))
+
+let mix weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  if total <= 0.0 then invalid_arg "Dist.mix: weights";
+  fun rng ->
+    let u = Engine.Rng.float rng *. total in
+    let rec pick acc = function
+      | [] -> (snd (List.hd weighted)) rng
+      | (w, d) :: rest -> if u <= acc +. w then d rng else pick (acc +. w) rest
+    in
+    pick 0.0 weighted
+
+let sample t rng = t rng
+
+let sample_bytes t rng = max 1 (int_of_float (Float.round (t rng)))
+
+let mean_estimate t rng n =
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. t rng
+  done;
+  !sum /. float_of_int n

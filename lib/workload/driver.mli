@@ -1,0 +1,49 @@
+(** Transport-agnostic traffic drivers.
+
+    A driver repeatedly invokes a [send] closure (MTP message, TCP
+    flow, UDP datagram — anything) according to an arrival process,
+    collecting completion times into a {!Stats.Summary.t}. *)
+
+type send = size:int -> on_complete:(Engine.Time.t -> unit) -> unit
+(** Start one transfer of [size] bytes; call [on_complete] with the
+    completion time when it finishes. *)
+
+type t
+
+val fcts : t -> Stats.Summary.t
+(** Completion times, in microseconds. *)
+
+val started : t -> int
+
+val completed : t -> int
+
+val stop : t -> unit
+
+val poisson :
+  Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  size:Dist.t ->
+  mean_interarrival:Engine.Time.t ->
+  ?until:Engine.Time.t ->
+  send ->
+  t
+(** Open-loop: start transfers with exponential interarrivals (sizes
+    from [size]) until [until] (or {!stop}). *)
+
+val closed_loop :
+  Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  size:Dist.t ->
+  ?think:Engine.Time.t ->
+  ?parallel:int ->
+  ?max_transfers:int ->
+  send ->
+  t
+(** Closed-loop: [parallel] (default 1) chains, each starting the next
+    transfer when the previous completes, after an optional fixed
+    [think] time. *)
+
+val load_interarrival :
+  rate:Engine.Time.rate -> load:float -> mean_size:float -> Engine.Time.t
+(** Mean interarrival that drives a link of [rate] at fraction [load]
+    with messages of [mean_size] bytes. *)

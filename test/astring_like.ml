@@ -1,0 +1,6 @@
+(* Tiny string helper shared by the test suites (no external deps). *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+  m = 0 || scan 0

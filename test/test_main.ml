@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "mtp-repro"
+    [ ("engine", Test_engine.suite);
+      ("stats", Test_stats.suite);
+      ("netsim", Test_netsim.suite);
+      ("tcp", Test_tcp.suite);
+      ("mtp", Test_mtp.suite);
+      ("workload", Test_workload.suite);
+      ("innetwork", Test_innetwork.suite);
+      ("experiments", Test_experiments.suite) ]

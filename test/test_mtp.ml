@@ -1,0 +1,911 @@
+(* Tests for the MTP core: wire format, congestion control, endpoint
+   reliability, switch-side feedback, policies, blob layer, Table 1. *)
+
+open Netsim
+open Mtp
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------ Wire ------------------------------- *)
+
+let sample_header =
+  { Wire.src_port = 1234; dst_port = 80; msg_id = 42; msg_pri = 3;
+    msg_tc = 2; msg_len = 1_000_000; msg_pkts = 695; pkt_num = 17;
+    pkt_offset = 24_480; pkt_len = 1440; is_ack = false; cookie = 7;
+    cookie2 = 99;
+    path_exclude = [ { Wire.path_id = 5; path_tc = 1 } ];
+    path_feedback =
+      [ { Wire.fb_path = { Wire.path_id = 1; path_tc = 2 };
+          fb = Feedback.Ecn true };
+        { Wire.fb_path = { Wire.path_id = 9; path_tc = 0 };
+          fb = Feedback.Rate 40_000 } ];
+    ack_path_feedback = [];
+    sack = [ { Wire.ref_msg = 42; ref_pkt = 16 } ];
+    nack = [ { Wire.ref_msg = 41; ref_pkt = 3 } ] }
+
+let test_wire_roundtrip () =
+  let encoded = Wire.encode sample_header in
+  let decoded = Wire.decode encoded in
+  checkb "roundtrip equal" true (Wire.equal sample_header decoded)
+
+let test_wire_size_matches () =
+  let encoded = Wire.encode sample_header in
+  checki "encoded_size exact" (Bytes.length encoded)
+    (Wire.encoded_size sample_header)
+
+let test_wire_fixed_size_minimal () =
+  let h =
+    Wire.data ~src_port:1 ~dst_port:2 ~msg_id:3 ~msg_len:100 ~msg_pkts:1
+      ~pkt_num:0 ~pkt_offset:0 ~pkt_len:100 ()
+  in
+  checki "no lists -> fixed size" Wire.fixed_size (Wire.encoded_size h);
+  checki "encode matches" Wire.fixed_size (Bytes.length (Wire.encode h))
+
+let test_wire_add_feedback_grows () =
+  let h =
+    Wire.data ~src_port:1 ~dst_port:2 ~msg_id:3 ~msg_len:100 ~msg_pkts:1
+      ~pkt_num:0 ~pkt_offset:0 ~pkt_len:100 ()
+  in
+  let h' =
+    Wire.add_feedback h { Wire.path_id = 4; path_tc = 0 } (Feedback.Ecn true)
+  in
+  checki "one fb entry" 1 (List.length h'.Wire.path_feedback);
+  checkb "size grew" true (Wire.encoded_size h' > Wire.encoded_size h)
+
+(* A golden vector pins the byte-level format: any change to the
+   encoding (field widths, ordering, TLV layout) fails this test and
+   must be deliberate. *)
+let test_wire_golden_vector () =
+  let h =
+    { Wire.src_port = 0x1234; dst_port = 80; msg_id = 0xDEADBE; msg_pri = 3;
+      msg_tc = 2; msg_len = 1_000_000; msg_pkts = 695; pkt_num = 17;
+      pkt_offset = 24_480; pkt_len = 1440; is_ack = false; cookie = 7;
+      cookie2 = 99;
+      path_exclude = [ { Wire.path_id = 5; path_tc = 1 } ];
+      path_feedback =
+        [ { Wire.fb_path = { Wire.path_id = 1; path_tc = 2 };
+            fb = Feedback.Ecn true };
+          { Wire.fb_path = { Wire.path_id = 9; path_tc = 0 };
+            fb = Feedback.Rate 40_000 } ];
+      ack_path_feedback =
+        [ { Wire.fb_path = { Wire.path_id = 9; path_tc = 0 };
+            fb = Feedback.Delay 123_456 } ];
+      sack = [ { Wire.ref_msg = 42; ref_pkt = 16 } ];
+      nack = [ { Wire.ref_msg = 41; ref_pkt = 3 } ] }
+  in
+  let hex b =
+    String.concat ""
+      (List.map (Printf.sprintf "%02x")
+         (List.init (Bytes.length b) (fun i -> Char.code (Bytes.get b i))))
+  in
+  Alcotest.(check string) "golden encoding"
+    ("1234005000deadbe0302000f4240000002b70000001100005fa005a0000000000700"
+   ^ "0000630100050102000102010101000900030400009c400100090004040001e24001"
+   ^ "0000002a00000010010000002900000003")
+    (hex (Wire.encode h));
+  checkb "golden decodes back" true (Wire.equal h (Wire.decode (Wire.encode h)))
+
+(* qcheck generator for headers *)
+let feedback_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun b -> Feedback.Ecn b) bool;
+        map (fun d -> Feedback.Queue (d land 0xffff)) nat;
+        map (fun r -> Feedback.Rate (r land 0xffffff)) nat;
+        map (fun d -> Feedback.Delay (d land 0xffffff)) nat;
+        return Feedback.Trimmed ])
+
+let path_ref_gen =
+  QCheck.Gen.(
+    map2
+      (fun id tc -> { Wire.path_id = id land 0xffff; path_tc = tc land 0xff })
+      nat nat)
+
+let path_fb_gen =
+  QCheck.Gen.(
+    map2 (fun p f -> { Wire.fb_path = p; fb = f }) path_ref_gen feedback_gen)
+
+let pkt_ref_gen =
+  QCheck.Gen.(
+    map2
+      (fun m p -> { Wire.ref_msg = m land 0xffffff; ref_pkt = p land 0xffff })
+      nat nat)
+
+let header_gen =
+  QCheck.Gen.(
+    let small_list g = list_size (0 -- 5) g in
+    let u16 = map (fun v -> v land 0xffff) nat in
+    let u8 = map (fun v -> v land 0xff) nat in
+    let u32 = map (fun v -> v land 0xffffff) nat in
+    map (fun
+          ((src_port, dst_port, msg_id, msg_pri, msg_tc),
+           (msg_len, msg_pkts, pkt_num, pkt_offset, pkt_len),
+           (is_ack, cookie, cookie2),
+           (path_exclude, path_feedback, ack_path_feedback, sack, nack)) ->
+          { Wire.src_port; dst_port; msg_id; msg_pri; msg_tc; msg_len;
+            msg_pkts; pkt_num; pkt_offset; pkt_len; is_ack; cookie; cookie2;
+            path_exclude; path_feedback; ack_path_feedback; sack; nack })
+      (quad
+         (tup5 u16 u16 u32 u8 u8)
+         (tup5 u32 u32 u32 u32 u16)
+         (tup3 bool u32 u32)
+         (tup5 (small_list path_ref_gen) (small_list path_fb_gen)
+            (small_list path_fb_gen) (small_list pkt_ref_gen)
+            (small_list pkt_ref_gen))))
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire encode/decode roundtrip" ~count:300
+    (QCheck.make header_gen) (fun h ->
+      let b = Wire.encode h in
+      Bytes.length b = Wire.encoded_size h && Wire.equal (Wire.decode b) h)
+
+(* ---------------------------- Feedback ----------------------------- *)
+
+let test_feedback_roundtrip_each () =
+  List.iter
+    (fun fb ->
+      let buf = Buffer.create 8 in
+      Feedback.encode buf fb;
+      let bytes = Buffer.to_bytes buf in
+      checki "tlv size" (Bytes.length bytes) (Feedback.encoded_size fb);
+      let decoded, next = Feedback.decode bytes ~pos:0 in
+      checkb "tlv roundtrip" true (Feedback.equal fb decoded);
+      checki "cursor" (Bytes.length bytes) next)
+    [ Feedback.Ecn true; Feedback.Ecn false; Feedback.Queue 37;
+      Feedback.Rate 100_000; Feedback.Delay 123_456; Feedback.Trimmed ]
+
+let test_feedback_congestion_signal () =
+  checkb "ce" true (Feedback.is_congested (Feedback.Ecn true));
+  checkb "no ce" false (Feedback.is_congested (Feedback.Ecn false));
+  checkb "trim" true (Feedback.is_congested Feedback.Trimmed);
+  checkb "deep queue" true (Feedback.is_congested (Feedback.Queue 100));
+  checkb "shallow queue" false (Feedback.is_congested (Feedback.Queue 2))
+
+let test_feedback_decode_rejects_unknown () =
+  let bytes = Bytes.of_string "\xff\x00" in
+  Alcotest.check_raises "unknown TLV type"
+    (Failure "Feedback.decode: unknown type 255") (fun () ->
+      ignore (Feedback.decode bytes ~pos:0))
+
+let test_endpoint_rejects_empty_message () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  ignore
+    (Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 1)
+       ~delay:(Engine.Time.us 1) ());
+  let ea = Endpoint.create a in
+  Alcotest.check_raises "empty message"
+    (Invalid_argument "Endpoint.send: size must be positive") (fun () ->
+      ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:0 ()))
+
+let test_policy_rejects_zero_weights () =
+  Alcotest.check_raises "weights must be positive"
+    (Invalid_argument "Policy: weights must be positive") (fun () ->
+      ignore (Policy.weighted [ (1, 0.0); (2, 0.0) ]))
+
+let test_blob_rejects_empty () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  ignore
+    (Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 1)
+       ~delay:(Engine.Time.us 1) ());
+  let ea = Endpoint.create a in
+  Alcotest.check_raises "empty blob"
+    (Invalid_argument "Blob.send: size must be positive") (fun () ->
+      Blob.send ea ~dst:(Node.addr b) ~dst_port:80 ~blob_id:1 ~size:0 ())
+
+let test_mutate_rejects_bad_factor () =
+  let sim = Engine.Sim.create () in
+  let sw = Netsim.Switch.create sim ~name:"sw" in
+  Alcotest.check_raises "factor must be in (0, 1]"
+    (Invalid_argument "Mutate.install: factor") (fun () ->
+      ignore (Innetwork.Mutate.install sw ~dst_port:1 ~factor:1.5 ()))
+
+(* ------------------------------- Cc -------------------------------- *)
+
+let test_cc_aimd_growth_and_halving () =
+  let cc = Cc.create ~mss:1440 Cc.Aimd in
+  let w0 = Cc.window cc in
+  Cc.on_ack cc ~now:1000 ~acked:1440 ~rtt:10_000 [];
+  checkb "slow start grows by acked" true (Cc.window cc >= w0 + 1440);
+  let before = Cc.window cc in
+  Cc.on_ack cc ~now:2000 ~acked:1440 ~rtt:10_000 [ Feedback.Ecn true ];
+  checkb "halved on ECN" true (Cc.window cc <= (before / 2) + 1440)
+
+let test_cc_once_per_rtt_decrease () =
+  let cc = Cc.create ~mss:1440 Cc.Aimd in
+  Cc.on_ack cc ~now:1000 ~acked:1440 ~rtt:100_000 [];
+  let w1 = Cc.window cc in
+  Cc.on_ack cc ~now:2000 ~acked:0 [ Feedback.Ecn true ];
+  let w2 = Cc.window cc in
+  (* Second mark within the same RTT must not halve again. *)
+  Cc.on_ack cc ~now:3000 ~acked:0 [ Feedback.Ecn true ];
+  checkb "no double cut within an RTT" true (Cc.window cc = w2 && w2 < w1)
+
+let test_cc_dctcp_proportional () =
+  let heavy = Cc.create ~init_window:100_000 ~mss:1440 (Cc.Dctcp { g = 0.5 }) in
+  let light = Cc.create ~init_window:100_000 ~mss:1440 (Cc.Dctcp { g = 0.5 }) in
+  (* Heavy marking: every ack marked; light: one in ten. *)
+  for i = 1 to 50 do
+    let now = i * 300_000 in
+    Cc.on_ack heavy ~now ~acked:10_000 ~rtt:100_000 [ Feedback.Ecn true ];
+    Cc.on_ack light ~now ~acked:10_000 ~rtt:100_000
+      [ Feedback.Ecn (i mod 10 = 0) ]
+  done;
+  checkb "heavier marking, smaller window" true
+    (Cc.window heavy < Cc.window light)
+
+let test_cc_rcp_rate_grant () =
+  let cc = Cc.create ~mss:1440 Cc.Rcp in
+  Cc.on_ack cc ~now:1000 ~acked:1440 ~rtt:100_000 [ Feedback.Rate 8_000 ];
+  (* 8000 Mbps * 100 us = 100 KB per RTT. *)
+  let w = Cc.window cc in
+  checkb "window tracks grant" true (w > 80_000 && w < 120_000);
+  Cc.on_ack cc ~now:2000 ~acked:1440 ~rtt:100_000 [ Feedback.Rate 800 ];
+  checkb "lower grant shrinks window" true (Cc.window cc < w / 5)
+
+let test_cc_swift_delay_response () =
+  let cc =
+    Cc.create ~init_window:100_000 ~mss:1440
+      (Cc.Swift { target = Engine.Time.us 20 })
+  in
+  Cc.on_ack cc ~now:1000 ~acked:1440 ~rtt:10_000 [ Feedback.Delay 1_000 ];
+  let grown = Cc.window cc in
+  checkb "below target grows" true (grown > 100_000);
+  Cc.on_ack cc ~now:500_000 ~acked:1440 ~rtt:10_000
+    [ Feedback.Delay 200_000 ];
+  checkb "above target shrinks" true (Cc.window cc < grown)
+
+let test_cc_loss_collapses_window () =
+  let cc = Cc.create ~init_window:100_000 ~mss:1440 Cc.Aimd in
+  Cc.on_loss cc ~now:1000;
+  checki "window back to 1 mss" 1440 (Cc.window cc)
+
+let test_cc_congested_recency () =
+  let cc = Cc.create ~mss:1440 Cc.Aimd in
+  checkb "initially clear" false (Cc.congested cc ~now:0);
+  Cc.on_ack cc ~now:1000 ~acked:0 [ Feedback.Ecn true ];
+  checkb "congested now" true (Cc.congested cc ~now:2000);
+  checkb "clears after quiet RTTs" false
+    (Cc.congested cc ~now:(1000 + Engine.Time.ms 10))
+
+(* qcheck: whatever feedback sequence a controller sees, its window
+   stays within sane bounds (>= 1 mss, finite, never NaN). *)
+let prop_cc_window_bounded =
+  let fb_gen =
+    QCheck.Gen.(
+      oneof
+        [ map (fun b -> Feedback.Ecn b) bool;
+          map (fun d -> Feedback.Queue (d land 0xff)) nat;
+          map (fun r -> Feedback.Rate (1 + (r land 0xfffff))) nat;
+          map (fun d -> Feedback.Delay (d land 0xfffff)) nat;
+          return Feedback.Trimmed ])
+  in
+  let algo_gen =
+    QCheck.Gen.oneofl
+      [ Cc.Aimd; Cc.Dctcp { g = 0.0625 }; Cc.Rcp;
+        Cc.Swift { target = Engine.Time.us 20 } ]
+  in
+  let event_gen =
+    QCheck.Gen.(
+      pair (int_range 0 20_000) (* acked bytes *) (list_size (0 -- 2) fb_gen))
+  in
+  QCheck.Test.make ~name:"cc window stays bounded and sane" ~count:200
+    (QCheck.make
+       QCheck.Gen.(pair algo_gen (list_size (1 -- 60) event_gen)))
+    (fun (algo, events) ->
+      let cc = Cc.create ~mss:1440 algo in
+      List.iteri
+        (fun i (acked, fbs) ->
+          let now = (i + 1) * 5_000 in
+          if i mod 11 = 10 then Cc.on_loss cc ~now
+          else Cc.on_ack cc ~now ~acked ~rtt:((i mod 50) * 1_000 + 500) fbs)
+        events;
+      let w = Cc.window cc in
+      w >= 1440 && w < max_int / 2)
+
+(* ----------------------------- Pathlet ----------------------------- *)
+
+let test_pathlet_isolation_and_flight () =
+  let table = Pathlet.create ~mss:1440 Cc.Aimd in
+  let a = { Wire.path_id = 1; path_tc = 0 } in
+  let b = { Wire.path_id = 2; path_tc = 0 } in
+  let cc_a = Pathlet.get table a in
+  Cc.on_ack cc_a ~now:1000 ~acked:14_400 ~rtt:10_000 [];
+  checkb "windows independent" true
+    (Cc.window (Pathlet.get table a) > Cc.window (Pathlet.get table b));
+  Pathlet.charge table [ a; b ] 5_000;
+  checki "charged a" 5_000 (Pathlet.inflight table a);
+  checki "charged b" 5_000 (Pathlet.inflight table b);
+  Pathlet.discharge table [ a ] 5_000;
+  checki "discharged a only" 0 (Pathlet.inflight table a);
+  checki "b untouched" 5_000 (Pathlet.inflight table b);
+  checkb "headroom is min across pathlets" true
+    (Pathlet.headroom table [ a; b ]
+    = min
+        (Cc.window (Pathlet.get table a))
+        (Cc.window (Pathlet.get table b) - 5_000))
+
+let test_pathlet_per_path_algorithms () =
+  let table = Pathlet.create ~mss:1440 Cc.Aimd in
+  let r = { Wire.path_id = 7; path_tc = 1 } in
+  Pathlet.set_algo_for table r Cc.Rcp;
+  (match Cc.algo (Pathlet.get table r) with
+  | Cc.Rcp -> ()
+  | _ -> Alcotest.fail "algorithm override ignored");
+  match Cc.algo (Pathlet.get table { Wire.path_id = 8; path_tc = 1 }) with
+  | Cc.Aimd -> ()
+  | _ -> Alcotest.fail "default algorithm wrong"
+
+(* ----------------------------- Endpoint ---------------------------- *)
+
+let mtp_pair ?(rate = Engine.Time.gbps 10) ?(delay = Engine.Time.us 2)
+    ?ab_qdisc ?algo () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  let ab, _ = Topology.wire_host_pair topo a b ~rate ~delay ?ab_qdisc () in
+  let ea = Endpoint.create ?algo a and eb = Endpoint.create ?algo b in
+  (sim, a, b, ab, ea, eb)
+
+let test_endpoint_single_packet_message () =
+  let sim, _, b, _, ea, eb = mtp_pair () in
+  let got = ref [] in
+  Endpoint.bind eb ~port:80 (fun d -> got := d :: !got);
+  let fct = ref 0 in
+  ignore
+    (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~cookie:11 ~cookie2:22
+       ~on_complete:(fun t -> fct := t)
+       ~size:500 ());
+  Engine.Sim.run sim;
+  match !got with
+  | [ d ] ->
+    checki "size" 500 d.Endpoint.dl_size;
+    checki "cookie" 11 d.Endpoint.dl_cookie;
+    checki "cookie2" 22 d.Endpoint.dl_cookie2;
+    checkb "fct recorded" true (!fct > 0);
+    checki "sender completed" 1 (Endpoint.completed ea)
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_endpoint_multi_packet_message () =
+  let sim, _, b, _, ea, eb = mtp_pair () in
+  let got = ref 0 in
+  Endpoint.bind eb ~port:80 (fun d ->
+      got := d.Endpoint.dl_size;
+      checki "msg pkts reassembled" 1_000_000 d.Endpoint.dl_size);
+  ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:1_000_000 ());
+  Engine.Sim.run sim;
+  checki "delivered" 1_000_000 !got;
+  checki "bytes counted" 1_000_000 (Endpoint.delivered_bytes eb);
+  checki "no retransmits on clean path" 0 (Endpoint.retransmits ea)
+
+let test_endpoint_messages_independent () =
+  (* Many concurrent messages complete, each exactly once. *)
+  let sim, _, b, _, ea, eb = mtp_pair () in
+  let done_ids = ref [] in
+  Endpoint.bind eb ~port:80 (fun d ->
+      done_ids := d.Endpoint.dl_msg_id :: !done_ids);
+  let ids =
+    List.init 20 (fun i ->
+        Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80
+          ~size:((i * 997 mod 30_000) + 1)
+          ())
+  in
+  Engine.Sim.run sim;
+  Alcotest.(check (list int))
+    "all messages delivered exactly once" (List.sort compare ids)
+    (List.sort compare !done_ids)
+
+let test_endpoint_recovers_from_loss () =
+  let sim, _, b, _, ea, eb =
+    mtp_pair ~rate:(Engine.Time.gbps 1)
+      ~ab_qdisc:(Qdisc.fifo ~cap_pkts:8 ())
+      ()
+  in
+  let got = ref 0 in
+  Endpoint.bind eb ~port:80 (fun d -> got := d.Endpoint.dl_size);
+  ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:3_000_000 ());
+  Engine.Sim.run ~until:(Engine.Time.sec 1) sim;
+  checki "complete despite drops" 3_000_000 !got;
+  checkb "retransmissions happened" true (Endpoint.retransmits ea > 0)
+
+let test_endpoint_ndp_trimming_fast_recovery () =
+  let sim, _, b, _, ea, eb =
+    mtp_pair ~rate:(Engine.Time.gbps 1)
+      ~ab_qdisc:(Qdisc.trimming ~cap_pkts:8 ~header_size:64 ())
+      ()
+  in
+  let got = ref 0 in
+  Endpoint.bind eb ~port:80 (fun d -> got := d.Endpoint.dl_size);
+  ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:2_000_000 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 100) sim;
+  checki "complete despite trimming" 2_000_000 !got;
+  checkb "NACKs drove recovery" true (Endpoint.nacks_received ea > 0);
+  checkb "no RTO needed (NACKs are immediate)" true
+    (Endpoint.timeouts ea = 0)
+
+let test_endpoint_priority_scheduling () =
+  (* A low-priority elephant and a high-priority mouse start together
+     on a slow link; the mouse must finish first by a wide margin. *)
+  let sim, _, b, _, ea, eb = mtp_pair ~rate:(Engine.Time.mbps 100) () in
+  Endpoint.bind eb ~port:80 (fun _ -> ());
+  let elephant_done = ref 0 and mouse_done = ref 0 in
+  ignore
+    (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~pri:5
+       ~on_complete:(fun _ -> elephant_done := Engine.Sim.now sim)
+       ~size:2_000_000 ());
+  ignore
+    (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~pri:0
+       ~on_complete:(fun _ -> mouse_done := Engine.Sim.now sim)
+       ~size:20_000 ());
+  Engine.Sim.run ~until:(Engine.Time.sec 1) sim;
+  checkb "both completed" true (!elephant_done > 0 && !mouse_done > 0);
+  checkb "high priority first" true (!mouse_done * 4 < !elephant_done)
+
+let test_endpoint_receiver_bounds () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  ignore
+    (Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 10)
+       ~delay:(Engine.Time.us 2) ());
+  let ea = Endpoint.create a in
+  let eb = Endpoint.create ~max_msg_bytes:10_000 b in
+  let got = ref 0 in
+  Endpoint.bind eb ~port:80 (fun _ -> incr got);
+  ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:50_000 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 5) sim;
+  checki "oversized message refused" 0 !got;
+  checkb "rejections counted" true (Endpoint.rejected eb > 0)
+
+let test_endpoint_feedback_loop_with_stamping () =
+  (* An MTP-aware bottleneck stamps ECN feedback; the DCTCP controller
+     must keep the queue bounded with no drops at all. *)
+  let qd = Qdisc.fifo ~cap_pkts:128 () in
+  let sim, _, b, ab, ea, eb =
+    mtp_pair ~rate:(Engine.Time.gbps 1) ~ab_qdisc:qd ()
+  in
+  Mtp_switch.stamp sim ab ~path_id:3 ~mode:(Mtp_switch.Ecn_mark 20);
+  let got = ref 0 in
+  Endpoint.bind eb ~port:80 (fun d -> got := !got + d.Endpoint.dl_size);
+  for _ = 1 to 4 do
+    ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:500_000 ())
+  done;
+  Engine.Sim.run ~until:(Engine.Time.ms 100) sim;
+  checki "all delivered" 2_000_000 !got;
+  checki "ECN prevented all drops" 0 (qd.Qdisc.drops ());
+  checki "no retransmits" 0 (Endpoint.retransmits ea);
+  (* The sender learned about pathlet 3. *)
+  let knows_path_3 =
+    List.exists
+      (fun (r, _) -> r.Wire.path_id = 3)
+      (Pathlet.known (Endpoint.pathlets ea))
+  in
+  checkb "pathlet discovered from feedback" true knows_path_3
+
+let test_endpoint_tracks_current_path () =
+  let sim, _, b, ab, ea, eb = mtp_pair () in
+  Mtp_switch.stamp sim ab ~path_id:9 ~mode:(Mtp_switch.Ecn_mark 20);
+  Endpoint.bind eb ~port:80 (fun _ -> ());
+  ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:100_000 ());
+  Engine.Sim.run sim;
+  match Endpoint.current_path ea ~dst:(Node.addr b) with
+  | [ { Wire.path_id = 9; _ } ] -> ()
+  | _ -> Alcotest.fail "current path not learned from ack feedback"
+
+let test_endpoint_rcp_rate_control () =
+  (* An RCP-stamping bottleneck grants explicit rates; the endpoint's
+     window must track the grant and the transfer completes without
+     loss even with a small buffer. *)
+  let qd = Qdisc.fifo ~cap_pkts:256 () in
+  let sim, _, b, ab, ea, eb =
+    mtp_pair ~rate:(Engine.Time.gbps 10) ~ab_qdisc:qd ~algo:Cc.Rcp ()
+  in
+  Mtp_switch.stamp sim ab ~path_id:5
+    ~mode:(Mtp_switch.Rate_grant { capacity = Engine.Time.gbps 10 });
+  let got = ref 0 in
+  Endpoint.bind eb ~port:80 (fun d -> got := !got + d.Endpoint.dl_size);
+  for _ = 1 to 2 do
+    ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:2_000_000 ())
+  done;
+  Engine.Sim.run ~until:(Engine.Time.ms 100) sim;
+  checki "all delivered under rate control" 4_000_000 !got;
+  checki "rate grants avoided drops" 0 (qd.Qdisc.drops ());
+  (* The pathlet controller holds an actual grant. *)
+  let cc = Pathlet.get (Endpoint.pathlets ea) { Wire.path_id = 5; path_tc = 0 } in
+  (match Cc.algo cc with Cc.Rcp -> () | _ -> Alcotest.fail "wrong algo");
+  checkb "window sized by the grant" true (Cc.window cc > 10_000)
+
+let test_endpoint_swift_delay_control () =
+  (* A delay-stamping bottleneck with a Swift controller: queueing must
+     stay moderate (the controller backs off on delay) and the transfer
+     completes without loss. *)
+  let qd = Qdisc.fifo ~cap_pkts:512 () in
+  let sim, _, b, ab, ea, eb =
+    mtp_pair ~rate:(Engine.Time.gbps 10) ~ab_qdisc:qd
+      ~algo:(Cc.Swift { target = Engine.Time.us 15 })
+      ()
+  in
+  Mtp_switch.stamp sim ab ~path_id:6 ~mode:Mtp_switch.Delay_report;
+  let got = ref 0 in
+  let max_queue = ref 0 in
+  Endpoint.bind eb ~port:80 (fun d -> got := !got + d.Endpoint.dl_size);
+  Engine.Sim.periodic sim ~interval:(Engine.Time.us 10) (fun () ->
+      max_queue := max !max_queue (qd.Qdisc.pkt_length ());
+      Engine.Sim.now sim < Engine.Time.ms 50);
+  ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:5_000_000 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 100) sim;
+  checki "delivered" 5_000_000 !got;
+  checki "no drops" 0 (qd.Qdisc.drops ());
+  (* 15 us at 10 Gbps is ~12 full packets; allow slack for bursts. *)
+  checkb "delay target bounded the queue" true (!max_queue < 100)
+
+let test_endpoint_path_exclusion_in_headers () =
+  (* After congestion feedback, data headers must carry the congested
+     pathlet in their exclude list. *)
+  let sim, _, b, ab, ea, eb =
+    mtp_pair ~rate:(Engine.Time.gbps 1)
+      ~ab_qdisc:(Qdisc.fifo ~cap_pkts:64 ())
+      ()
+  in
+  Mtp_switch.stamp sim ab ~path_id:9 ~mode:(Mtp_switch.Ecn_mark 4);
+  Endpoint.bind eb ~port:80 (fun _ -> ());
+  (* Observe data packets on the wire via a hook at the receiver. *)
+  let saw_exclusion = ref false in
+  let previous = Node.handler b in
+  Node.set_handler b (fun pkt ->
+      (match pkt.Packet.payload with
+      | Wire.Mtp h when not h.Wire.is_ack ->
+        if
+          List.exists
+            (fun (r : Wire.path_ref) -> r.Wire.path_id = 9)
+            h.Wire.path_exclude
+        then saw_exclusion := true
+      | _ -> ());
+      match previous with Some f -> f pkt | None -> ());
+  ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:3_000_000 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 60) sim;
+  checkb "congested pathlet advertised for exclusion" true !saw_exclusion
+
+let test_endpoint_exclusion_can_be_disabled () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  let ab, _ =
+    Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 1)
+      ~delay:(Engine.Time.us 2)
+      ~ab_qdisc:(Qdisc.fifo ~cap_pkts:64 ())
+      ()
+  in
+  Mtp_switch.stamp sim ab ~path_id:9 ~mode:(Mtp_switch.Ecn_mark 4);
+  let ea = Endpoint.create ~exclusion:false a in
+  let eb = Endpoint.create b in
+  Endpoint.bind eb ~port:80 (fun _ -> ());
+  let saw_exclusion = ref false in
+  let previous = Node.handler b in
+  Node.set_handler b (fun pkt ->
+      (match pkt.Packet.payload with
+      | Wire.Mtp h when h.Wire.path_exclude <> [] -> saw_exclusion := true
+      | _ -> ());
+      match previous with Some f -> f pkt | None -> ());
+  ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:2_000_000 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 60) sim;
+  checkb "no exclude lists when disabled" false !saw_exclusion
+
+let test_endpoint_ack_coalescing_correctness () =
+  (* With 8x aggregation the transfer must still complete exactly and
+     the ack packet count must drop well below one per data packet. *)
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  ignore
+    (Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 10)
+       ~delay:(Engine.Time.us 2) ());
+  let ea = Endpoint.create a in
+  let eb = Endpoint.create ~ack_every:8 b in
+  let got = ref 0 in
+  Endpoint.bind eb ~port:80 (fun d -> got := d.Endpoint.dl_size);
+  let fct = ref 0 in
+  ignore
+    (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80
+       ~on_complete:(fun t -> fct := t)
+       ~size:1_000_000 ());
+  Engine.Sim.run sim;
+  checki "delivered" 1_000_000 !got;
+  checkb "completed" true (!fct > 0);
+  let data_pkts = (1_000_000 + 1439) / 1440 in
+  checkb "acks aggregated" true
+    (Endpoint.acks_sent eb * 4 < data_pkts);
+  checki "no spurious retransmits from delayed acks" 0
+    (Endpoint.retransmits ea)
+
+let test_endpoint_ack_coalescing_with_loss () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  ignore
+    (Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 1)
+       ~delay:(Engine.Time.us 2)
+       ~ab_qdisc:(Qdisc.trimming ~cap_pkts:8 ~header_size:64 ())
+       ());
+  let ea = Endpoint.create a in
+  let eb = Endpoint.create ~ack_every:8 b in
+  let got = ref 0 in
+  Endpoint.bind eb ~port:80 (fun d -> got := d.Endpoint.dl_size);
+  ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:1_000_000 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 100) sim;
+  checki "reliable with coalescing + trimming" 1_000_000 !got;
+  checkb "NACKs still flushed immediately" true
+    (Endpoint.nacks_received ea > 0)
+
+let test_blob_survives_loss () =
+  let sim, _, b, _, ea, eb =
+    mtp_pair ~rate:(Engine.Time.gbps 1)
+      ~ab_qdisc:(Qdisc.fifo ~cap_pkts:12 ())
+      ()
+  in
+  let done_size = ref 0 in
+  ignore
+    (Blob.receiver eb ~port:81 (fun ~src:_ ~blob_id:_ ~size ->
+         done_size := size));
+  Blob.send ea ~dst:(Node.addr b) ~dst_port:81 ~blob_id:9 ~size:1_000_000 ();
+  Engine.Sim.run ~until:(Engine.Time.sec 1) sim;
+  checki "blob complete despite drops" 1_000_000 !done_size;
+  checkb "losses actually happened" true (Endpoint.retransmits ea > 0)
+
+(* qcheck: any batch of message sizes is delivered exactly once with
+   exact sizes, even over a lossy link. *)
+let prop_exactly_once_delivery =
+  QCheck.Test.make ~name:"endpoint delivers every message exactly once"
+    ~count:25
+    QCheck.(list_of_size Gen.(1 -- 12) (int_range 1 40_000))
+    (fun sizes ->
+      let sim = Engine.Sim.create () in
+      let topo = Topology.create sim in
+      let a = Topology.host topo "a" and b = Topology.host topo "b" in
+      ignore
+        (Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 1)
+           ~delay:(Engine.Time.us 2)
+           ~ab_qdisc:(Qdisc.fifo ~cap_pkts:12 ())
+           ());
+      let ea = Endpoint.create a and eb = Endpoint.create b in
+      let deliveries = ref [] in
+      Endpoint.bind eb ~port:80 (fun d ->
+          deliveries := (d.Endpoint.dl_msg_id, d.Endpoint.dl_size) :: !deliveries);
+      let expected =
+        List.map
+          (fun size ->
+            (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size (), size))
+          sizes
+      in
+      Engine.Sim.run ~until:(Engine.Time.sec 2) sim;
+      List.sort compare !deliveries = List.sort compare expected)
+
+(* ------------------------------- Blob ------------------------------ *)
+
+let test_blob_roundtrip () =
+  let sim, _, b, _, ea, eb = mtp_pair () in
+  let done_blobs = ref [] in
+  ignore
+    (Blob.receiver eb ~port:81 (fun ~src:_ ~blob_id ~size ->
+         done_blobs := (blob_id, size) :: !done_blobs));
+  let fct = ref 0 in
+  Blob.send ea ~dst:(Node.addr b) ~dst_port:81 ~blob_id:5 ~size:100_000
+    ~on_complete:(fun t -> fct := t)
+    ();
+  Engine.Sim.run sim;
+  Alcotest.(check (list (pair int int))) "blob reassembled" [ (5, 100_000) ]
+    !done_blobs;
+  checkb "sender completion" true (!fct > 0)
+
+let test_blob_interleaved () =
+  let sim, _, b, _, ea, eb = mtp_pair () in
+  let rx = Blob.receiver eb ~port:81 (fun ~src:_ ~blob_id:_ ~size:_ -> ()) in
+  Blob.send ea ~dst:(Node.addr b) ~dst_port:81 ~blob_id:1 ~size:50_000 ();
+  Blob.send ea ~dst:(Node.addr b) ~dst_port:81 ~blob_id:2 ~size:70_000 ();
+  Engine.Sim.run sim;
+  checki "both blobs completed" 2 (Blob.blobs_completed rx)
+
+(* ------------------------------ Policy ----------------------------- *)
+
+let test_policy_shares () =
+  let p = Policy.equal_shares ~entities:[ 10; 20 ] in
+  Alcotest.(check (float 1e-9)) "equal" 0.5 (Policy.share p 10);
+  Alcotest.(check (float 1e-9)) "unknown" 0.0 (Policy.share p 99);
+  let w = Policy.weighted [ (1, 3.0); (2, 1.0) ] in
+  Alcotest.(check (float 1e-9)) "weighted" 0.75 (Policy.share w 1);
+  checki "class indices dense" 1 (Policy.class_of w 2)
+
+let test_policy_install_fair_share () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Netsim.Link.create sim ~name:"l" ~rate:(Engine.Time.gbps 10) ~delay:0 ()
+  in
+  let p = Policy.equal_shares ~entities:[ 1; 2 ] in
+  Policy.install_fair_share p link ~cap_pkts:128 ~mark_threshold:4;
+  let q = Netsim.Link.qdisc link in
+  Alcotest.(check string) "fair_mark installed" "fair_mark" q.Qdisc.name
+
+(* ---------------------------- Mtp_switch --------------------------- *)
+
+let test_msg_lb_balances_by_size () =
+  (* Two messages of very different sizes then a stream of small ones:
+     commitments steer small messages to the other path. *)
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let tp =
+    Topology.two_path topo ~rate_a:(Engine.Time.gbps 100)
+      ~rate_b:(Engine.Time.gbps 100) ~delay_a:(Engine.Time.us 1)
+      ~delay_b:(Engine.Time.us 1) ~edge_rate:(Engine.Time.gbps 100) ()
+  in
+  let eb = Endpoint.create tp.Topology.tp_dst in
+  Endpoint.bind eb ~port:80 (fun _ -> ());
+  let ea = Endpoint.create tp.Topology.tp_src in
+  let lb =
+    Mtp_switch.msg_lb tp.Topology.tp_ingress
+      ~dst:(Node.addr tp.Topology.tp_dst)
+      ~ports:[| tp.Topology.tp_port_a; tp.Topology.tp_port_b |]
+      ~fallback:(Netsim.Routing.static tp.Topology.tp_routes)
+  in
+  (* One 10 MB elephant; shortly after, twenty high-priority 10 KB
+     mice while the elephant is still in flight. *)
+  ignore
+    (Endpoint.send ea ~dst:(Node.addr tp.Topology.tp_dst) ~dst_port:80 ~pri:1
+       ~size:10_000_000 ());
+  ignore
+    (Engine.Sim.schedule sim ~at:(Engine.Time.us 50) (fun () ->
+         for _ = 1 to 20 do
+           ignore
+             (Endpoint.send ea ~dst:(Node.addr tp.Topology.tp_dst)
+                ~dst_port:80 ~pri:0 ~size:10_000 ())
+         done));
+  Engine.Sim.run ~until:(Engine.Time.ms 20) sim;
+  let assigned = Mtp_switch.lb_assignments lb in
+  checki "elephant alone on one path" 1 assigned.(0);
+  checki "mice all on the other" 20 assigned.(1)
+
+let test_exclusion_aware_routing () =
+  let routes = Netsim.Routing.create () in
+  Netsim.Routing.add routes 5 0;
+  Netsim.Routing.add routes 5 1;
+  let port_paths = [ (0, 100); (1, 200) ] in
+  let header =
+    Wire.data
+      ~exclude:[ { Wire.path_id = 100; path_tc = 0 } ]
+      ~src_port:1 ~dst_port:2 ~msg_id:1 ~msg_len:100 ~msg_pkts:1 ~pkt_num:0
+      ~pkt_offset:0 ~pkt_len:100 ()
+  in
+  let pkt = Wire.packet ~now:0 ~src:1 ~dst:5 ~entity:0 header in
+  (match Mtp_switch.exclusion_aware ~port_paths routes pkt with
+  | Netsim.Switch.Forward 1 -> ()
+  | _ -> Alcotest.fail "should avoid excluded pathlet 100 (port 0)");
+  (* All excluded: fall back to hashing rather than dropping. *)
+  let header_all =
+    Wire.data
+      ~exclude:
+        [ { Wire.path_id = 100; path_tc = 0 };
+          { Wire.path_id = 200; path_tc = 0 } ]
+      ~src_port:1 ~dst_port:2 ~msg_id:2 ~msg_len:100 ~msg_pkts:1 ~pkt_num:0
+      ~pkt_offset:0 ~pkt_len:100 ()
+  in
+  let pkt_all = Wire.packet ~now:0 ~src:1 ~dst:5 ~entity:0 header_all in
+  match Mtp_switch.exclusion_aware ~port_paths routes pkt_all with
+  | Netsim.Switch.Forward _ -> ()
+  | _ -> Alcotest.fail "must still forward when everything is excluded"
+
+(* ----------------------------- Features ---------------------------- *)
+
+let v = Alcotest.testable (Fmt.of_to_string Features.verdict_symbol) ( = )
+
+let test_features_match_paper_rows () =
+  let check_row tr expected =
+    List.iter2
+      (fun req e ->
+        Alcotest.check v
+          (Features.transport_name tr ^ "/" ^ Features.requirement_name req)
+          e (Features.supports tr req))
+      Features.all_requirements expected
+  in
+  (* All thirteen rows, straight from the paper's Table 1 (plus the
+     MTP row the paper claims in §3.2). *)
+  check_row Features.Tcp_passthrough_many_rpf
+    Features.[ No; Yes; No; Yes; No ];
+  check_row Features.Tcp_passthrough_one_rpf
+    Features.[ No; Yes; No; No; Yes ];
+  check_row Features.Tcp_termination_many_rpf
+    Features.[ Yes; No; No; Yes; No ];
+  check_row Features.Tcp_termination_one_rpf
+    Features.[ Yes; No; Yes; No; Yes ];
+  check_row Features.Dctcp Features.[ No; No; No; No; No ];
+  check_row Features.Udp Features.[ Yes; Yes; Yes; No; No ];
+  check_row Features.Quic Features.[ No; Yes; Yes; Unclear; No ];
+  check_row Features.Mptcp Features.[ No; No; Yes; Yes; No ];
+  check_row Features.Swift Features.[ No; Yes; No; No; No ];
+  check_row Features.Rdma_rc Features.[ No; Yes; No; No; No ];
+  check_row Features.Rdma_uc Features.[ No; Yes; No; No; No ];
+  check_row Features.Rdma_ud Features.[ Yes; Yes; Yes; No; No ];
+  check_row Features.Mtp Features.[ Yes; Yes; Yes; Yes; Yes ]
+
+let test_features_quic_unclear () =
+  Alcotest.check v "quic multi-resource is open" Features.Unclear
+    (Features.supports Features.Quic
+       Features.Multi_resource_multi_algorithm_cc)
+
+let test_features_table_renders () =
+  let table = Features.table () in
+  checki "13 transports + MTP rows" 13 (List.length (Stats.Table.rows table))
+
+let suite =
+  [ Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire size" `Quick test_wire_size_matches;
+    Alcotest.test_case "wire fixed size" `Quick test_wire_fixed_size_minimal;
+    Alcotest.test_case "wire add feedback" `Quick test_wire_add_feedback_grows;
+    Alcotest.test_case "wire golden vector" `Quick test_wire_golden_vector;
+    QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+    Alcotest.test_case "feedback tlv roundtrip" `Quick
+      test_feedback_roundtrip_each;
+    Alcotest.test_case "feedback congestion" `Quick
+      test_feedback_congestion_signal;
+    Alcotest.test_case "feedback unknown tlv" `Quick
+      test_feedback_decode_rejects_unknown;
+    Alcotest.test_case "endpoint empty msg" `Quick
+      test_endpoint_rejects_empty_message;
+    Alcotest.test_case "policy zero weights" `Quick
+      test_policy_rejects_zero_weights;
+    Alcotest.test_case "blob empty" `Quick test_blob_rejects_empty;
+    Alcotest.test_case "mutate bad factor" `Quick test_mutate_rejects_bad_factor;
+    Alcotest.test_case "cc aimd" `Quick test_cc_aimd_growth_and_halving;
+    Alcotest.test_case "cc once per rtt" `Quick test_cc_once_per_rtt_decrease;
+    Alcotest.test_case "cc dctcp alpha" `Quick test_cc_dctcp_proportional;
+    Alcotest.test_case "cc rcp grant" `Quick test_cc_rcp_rate_grant;
+    Alcotest.test_case "cc swift delay" `Quick test_cc_swift_delay_response;
+    Alcotest.test_case "cc loss" `Quick test_cc_loss_collapses_window;
+    Alcotest.test_case "cc congested recency" `Quick test_cc_congested_recency;
+    QCheck_alcotest.to_alcotest prop_cc_window_bounded;
+    Alcotest.test_case "pathlet isolation" `Quick
+      test_pathlet_isolation_and_flight;
+    Alcotest.test_case "pathlet per-path algos" `Quick
+      test_pathlet_per_path_algorithms;
+    Alcotest.test_case "endpoint 1-pkt msg" `Quick
+      test_endpoint_single_packet_message;
+    Alcotest.test_case "endpoint multi-pkt msg" `Quick
+      test_endpoint_multi_packet_message;
+    Alcotest.test_case "endpoint independence" `Quick
+      test_endpoint_messages_independent;
+    Alcotest.test_case "endpoint loss recovery" `Quick
+      test_endpoint_recovers_from_loss;
+    Alcotest.test_case "endpoint NDP trimming" `Quick
+      test_endpoint_ndp_trimming_fast_recovery;
+    Alcotest.test_case "endpoint priority" `Quick
+      test_endpoint_priority_scheduling;
+    Alcotest.test_case "endpoint rx bounds" `Quick test_endpoint_receiver_bounds;
+    Alcotest.test_case "endpoint ECN loop" `Quick
+      test_endpoint_feedback_loop_with_stamping;
+    Alcotest.test_case "endpoint path learning" `Quick
+      test_endpoint_tracks_current_path;
+    Alcotest.test_case "endpoint rcp e2e" `Quick test_endpoint_rcp_rate_control;
+    Alcotest.test_case "endpoint swift e2e" `Quick
+      test_endpoint_swift_delay_control;
+    Alcotest.test_case "endpoint exclusion on" `Quick
+      test_endpoint_path_exclusion_in_headers;
+    Alcotest.test_case "endpoint exclusion off" `Quick
+      test_endpoint_exclusion_can_be_disabled;
+    Alcotest.test_case "ack coalescing" `Quick
+      test_endpoint_ack_coalescing_correctness;
+    Alcotest.test_case "ack coalescing + loss" `Quick
+      test_endpoint_ack_coalescing_with_loss;
+    Alcotest.test_case "blob under loss" `Quick test_blob_survives_loss;
+    QCheck_alcotest.to_alcotest prop_exactly_once_delivery;
+    Alcotest.test_case "blob roundtrip" `Quick test_blob_roundtrip;
+    Alcotest.test_case "blob interleaved" `Quick test_blob_interleaved;
+    Alcotest.test_case "policy shares" `Quick test_policy_shares;
+    Alcotest.test_case "policy install" `Quick test_policy_install_fair_share;
+    Alcotest.test_case "msg lb by size" `Quick test_msg_lb_balances_by_size;
+    Alcotest.test_case "exclusion routing" `Quick test_exclusion_aware_routing;
+    Alcotest.test_case "features paper rows" `Quick
+      test_features_match_paper_rows;
+    Alcotest.test_case "features quic" `Quick test_features_quic_unclear;
+    Alcotest.test_case "features table" `Quick test_features_table_renders ]

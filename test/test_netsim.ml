@@ -1,0 +1,678 @@
+(* Tests for packets, qdiscs, links, switches, routing, topologies. *)
+
+open Netsim
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let pkt ?(size = 1500) ?(entity = 0) ?(prio = 0) ?(flow_hash = 0) ?(src = 0)
+    ?(dst = 1) () =
+  Packet.make ~entity ~prio ~flow_hash ~now:0 ~src ~dst ~size ()
+
+(* ------------------------------ Packet ----------------------------- *)
+
+let test_packet_uids_unique () =
+  let a = pkt () and b = pkt () in
+  checkb "distinct uids" true (a.Packet.uid <> b.Packet.uid)
+
+let test_packet_rejects_empty () =
+  Alcotest.check_raises "positive size"
+    (Invalid_argument "Packet.make: size must be positive") (fun () ->
+      ignore (pkt ~size:0 ()))
+
+let test_flow_hash_stable () =
+  let h1 = Packet.flow_hash_of ~src:1 ~dst:2 ~src_port:3 ~dst_port:4 in
+  let h2 = Packet.flow_hash_of ~src:1 ~dst:2 ~src_port:3 ~dst_port:4 in
+  let h3 = Packet.flow_hash_of ~src:1 ~dst:2 ~src_port:5 ~dst_port:4 in
+  checki "deterministic" h1 h2;
+  checkb "port-sensitive" true (h1 <> h3)
+
+(* ------------------------------ Qdisc ------------------------------ *)
+
+let test_fifo_order_and_caps () =
+  let q = Qdisc.fifo ~cap_pkts:2 () in
+  let a = pkt () and b = pkt () and c = pkt () in
+  checkb "a in" true (q.Qdisc.enqueue a);
+  checkb "b in" true (q.Qdisc.enqueue b);
+  checkb "c dropped" false (q.Qdisc.enqueue c);
+  checki "drops" 1 (q.Qdisc.drops ());
+  checki "bytes" 3000 (q.Qdisc.byte_length ());
+  (match q.Qdisc.dequeue () with
+  | Some p -> checki "fifo head" a.Packet.uid p.Packet.uid
+  | None -> Alcotest.fail "empty");
+  checki "bytes after" 1500 (q.Qdisc.byte_length ())
+
+let test_fifo_byte_cap () =
+  let q = Qdisc.fifo ~cap_bytes:2000 ~cap_pkts:100 () in
+  checkb "first fits" true (q.Qdisc.enqueue (pkt ()));
+  checkb "second exceeds bytes" false (q.Qdisc.enqueue (pkt ()))
+
+let test_ecn_marks_above_threshold () =
+  let q = Qdisc.ecn ~cap_pkts:100 ~mark_threshold:2 () in
+  let pkts = List.init 4 (fun _ -> pkt ()) in
+  List.iter (fun p -> ignore (q.Qdisc.enqueue p)) pkts;
+  let marked = List.filter (fun p -> p.Packet.ecn_ce) pkts in
+  (* Packets 3 and 4 arrive when depth >= 2. *)
+  checki "two marked" 2 (List.length marked);
+  checki "marks counter" 2 (q.Qdisc.marks ())
+
+let test_trimming_trims_not_drops () =
+  let q = Qdisc.trimming ~cap_pkts:2 ~header_size:64 () in
+  ignore (q.Qdisc.enqueue (pkt ()));
+  ignore (q.Qdisc.enqueue (pkt ()));
+  let extra = pkt () in
+  checkb "accepted as header" true (q.Qdisc.enqueue extra);
+  checkb "trimmed" true extra.Packet.trimmed;
+  checki "shrunk" 64 extra.Packet.size;
+  (* Trimmed headers are served first. *)
+  match q.Qdisc.dequeue () with
+  | Some p -> checki "priority to header" extra.Packet.uid p.Packet.uid
+  | None -> Alcotest.fail "empty"
+
+let test_priority_ordering () =
+  let q = Qdisc.priority ~levels:3 ~cap_pkts:10 () in
+  let low = pkt ~prio:2 () and high = pkt ~prio:0 () in
+  ignore (q.Qdisc.enqueue low);
+  ignore (q.Qdisc.enqueue high);
+  match q.Qdisc.dequeue () with
+  | Some p -> checki "high first" high.Packet.uid p.Packet.uid
+  | None -> Alcotest.fail "empty"
+
+let test_wrr_shares_by_weight () =
+  let q =
+    Qdisc.wrr ~classify:(fun p -> p.Packet.entity) ~weights:[| 1; 3 |]
+      ~cap_pkts:100 ()
+  in
+  for _ = 1 to 40 do
+    ignore (q.Qdisc.enqueue (pkt ~entity:0 ()));
+    ignore (q.Qdisc.enqueue (pkt ~entity:1 ()))
+  done;
+  let served = [| 0; 0 |] in
+  for _ = 1 to 40 do
+    match q.Qdisc.dequeue () with
+    | Some p -> served.(p.Packet.entity) <- served.(p.Packet.entity) + 1
+    | None -> ()
+  done;
+  (* Expect close to a 1:3 split over 40 dequeues. *)
+  checkb "weighted split" true (served.(1) > 2 * served.(0))
+
+let test_wrr_work_conserving () =
+  let q =
+    Qdisc.wrr ~classify:(fun p -> p.Packet.entity) ~weights:[| 1; 9 |]
+      ~cap_pkts:100 ()
+  in
+  (* Only the low-weight class has traffic: it must still be served. *)
+  for _ = 1 to 5 do
+    ignore (q.Qdisc.enqueue (pkt ~entity:0 ()))
+  done;
+  let n = ref 0 in
+  let rec drain () =
+    match q.Qdisc.dequeue () with
+    | Some _ ->
+      incr n;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  checki "all served" 5 !n
+
+let test_fair_mark_targets_heavy_class () =
+  let q =
+    Qdisc.fair_mark ~classify:(fun p -> p.Packet.entity) ~cap_pkts:1000
+      ~mark_threshold:4 ()
+  in
+  (* Entity 1 floods; entity 0 sends a little, interleaved early. *)
+  let light = List.init 3 (fun _ -> pkt ~entity:0 ()) in
+  let heavy = List.init 30 (fun _ -> pkt ~entity:1 ()) in
+  List.iter (fun p -> ignore (q.Qdisc.enqueue p)) light;
+  List.iter (fun p -> ignore (q.Qdisc.enqueue p)) heavy;
+  let heavy_marked = List.length (List.filter (fun p -> p.Packet.ecn_ce) heavy) in
+  let light_marked = List.length (List.filter (fun p -> p.Packet.ecn_ce) light) in
+  checkb "heavy class marked" true (heavy_marked > 5);
+  checki "light class unmarked" 0 light_marked
+
+let test_red_marks_probabilistically () =
+  let rng = Engine.Rng.create 5 in
+  let q = Qdisc.red ~rng ~cap_pkts:200 ~min_th:10 ~max_th:50 () in
+  (* Hold the queue deep so the EWMA climbs past min_th. *)
+  let marked = ref 0 and total = 0 |> ref in
+  for _ = 1 to 2000 do
+    let p = pkt () in
+    ignore (q.Qdisc.enqueue p);
+    incr total;
+    if p.Packet.ecn_ce then incr marked;
+    (* Drain one of every two packets to keep depth ~high. *)
+    if !total mod 2 = 0 then ignore (q.Qdisc.dequeue ())
+  done;
+  checkb "some marks" true (!marked > 0);
+  checkb "not everything marked" true (!marked < !total);
+  checki "counter consistent" !marked (q.Qdisc.marks ())
+
+let test_red_quiet_queue_unmarked () =
+  let rng = Engine.Rng.create 5 in
+  let q = Qdisc.red ~rng ~cap_pkts:200 ~min_th:10 ~max_th:50 () in
+  for _ = 1 to 100 do
+    ignore (q.Qdisc.enqueue (pkt ()));
+    ignore (q.Qdisc.dequeue ())
+  done;
+  checki "shallow queue never marks" 0 (q.Qdisc.marks ())
+
+let test_red_validates_thresholds () =
+  let rng = Engine.Rng.create 5 in
+  Alcotest.check_raises "bad thresholds"
+    (Invalid_argument "Qdisc.red: thresholds") (fun () ->
+      ignore (Qdisc.red ~rng ~cap_pkts:10 ~min_th:8 ~max_th:4 ()))
+
+(* qcheck: packet conservation — every enqueued packet is either still
+   queued, dequeued, or was refused; nothing is duplicated or lost.
+   Checked across qdisc families under random op sequences. *)
+let prop_qdisc_conservation =
+  let make_qdisc = function
+    | 0 -> Qdisc.fifo ~cap_pkts:16 ()
+    | 1 -> Qdisc.ecn ~cap_pkts:16 ~mark_threshold:4 ()
+    | 2 -> Qdisc.priority ~levels:3 ~cap_pkts:8 ()
+    | _ ->
+      Qdisc.wrr
+        ~classify:(fun p -> p.Packet.entity)
+        ~weights:[| 1; 2 |] ~cap_pkts:8 ()
+  in
+  QCheck.Test.make ~name:"qdisc conservation under random ops" ~count:100
+    QCheck.(pair (int_range 0 3) (list_of_size Gen.(1 -- 200) bool))
+    (fun (kind, ops) ->
+      let q = make_qdisc kind in
+      let accepted = ref 0 and refused = ref 0 and out = ref 0 in
+      List.iteri
+        (fun i enq ->
+          if enq then begin
+            let p = pkt ~entity:(i land 1) ~prio:(i mod 3) () in
+            if q.Qdisc.enqueue p then incr accepted else incr refused
+          end
+          else
+            match q.Qdisc.dequeue () with
+            | Some _ -> incr out
+            | None -> ())
+        ops;
+      let rec drain () =
+        match q.Qdisc.dequeue () with
+        | Some _ ->
+          incr out;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      !accepted = !out && q.Qdisc.pkt_length () = 0 && q.Qdisc.byte_length () = 0)
+
+let test_hooks_fire () =
+  let enq = ref 0 and deq = ref 0 and dropped = ref 0 in
+  let q =
+    Qdisc.with_hooks
+      ~on_enqueue:(fun _ -> incr enq)
+      ~on_drop:(fun _ -> incr dropped)
+      ~on_dequeue:(fun _ -> incr deq)
+      (Qdisc.fifo ~cap_pkts:1 ())
+  in
+  ignore (q.Qdisc.enqueue (pkt ()));
+  ignore (q.Qdisc.enqueue (pkt ()));
+  ignore (q.Qdisc.dequeue ());
+  checki "enqueue hook" 1 !enq;
+  checki "drop hook" 1 !dropped;
+  checki "dequeue hook" 1 !deq
+
+(* ------------------------------- Link ------------------------------ *)
+
+let test_link_serialization_and_delay () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Link.create sim ~name:"l" ~rate:(Engine.Time.gbps 100)
+      ~delay:(Engine.Time.us 1) ()
+  in
+  let arrivals = ref [] in
+  Link.set_dst link (fun p -> arrivals := (Engine.Sim.now sim, p) :: !arrivals);
+  Link.send link (pkt ());
+  Link.send link (pkt ());
+  Engine.Sim.run sim;
+  match List.rev !arrivals with
+  | [ (t1, _); (t2, _) ] ->
+    (* 1500B @100G = 120ns serialization; delay 1us. *)
+    checki "first arrival" 1120 t1;
+    checki "second arrival spaced by tx time" 1240 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_link_drops_when_queue_full () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Link.create sim ~name:"l" ~rate:(Engine.Time.mbps 1)
+      ~delay:(Engine.Time.us 1)
+      ~qdisc:(Qdisc.fifo ~cap_pkts:2 ())
+      ()
+  in
+  let n = ref 0 in
+  Link.set_dst link (fun _ -> incr n);
+  for _ = 1 to 10 do
+    Link.send link (pkt ())
+  done;
+  Engine.Sim.run sim;
+  (* One in flight + two queued. *)
+  checki "delivered" 3 !n;
+  checki "drops" 7 ((Link.qdisc link).Qdisc.drops ())
+
+let test_link_utilization_accounting () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Link.create sim ~name:"l" ~rate:(Engine.Time.gbps 10) ~delay:0 ()
+  in
+  Link.set_dst link (fun _ -> ());
+  for _ = 1 to 100 do
+    Link.send link (pkt ())
+  done;
+  Engine.Sim.run sim;
+  checki "all bytes sent" 150_000 (Link.bytes_sent link);
+  checkb "not busy at end" false (Link.busy link)
+
+(* ------------------------------ Switch ----------------------------- *)
+
+let build_switch_pair () =
+  let sim = Engine.Sim.create () in
+  let sw = Switch.create sim ~name:"sw" in
+  let out =
+    Link.create sim ~name:"out" ~rate:(Engine.Time.gbps 100) ~delay:0 ()
+  in
+  let got = ref [] in
+  Link.set_dst out (fun p -> got := p :: !got);
+  let port = Switch.add_port sw out in
+  (sim, sw, port, got)
+
+let test_switch_forwards () =
+  let sim, sw, port, got = build_switch_pair () in
+  Switch.set_forward sw (fun _ -> Switch.Forward port);
+  Switch.receive sw (pkt ());
+  Engine.Sim.run sim;
+  checki "forwarded" 1 (List.length !got);
+  checki "counter" 1 (Switch.forwarded sw)
+
+let test_switch_drop_action () =
+  let sim, sw, _, got = build_switch_pair () in
+  Switch.set_forward sw (fun _ -> Switch.Drop);
+  Switch.receive sw (pkt ());
+  Engine.Sim.run sim;
+  checki "nothing out" 0 (List.length !got);
+  checki "dropped" 1 (Switch.dropped sw)
+
+let test_switch_hook_absorbs () =
+  let sim, sw, port, got = build_switch_pair () in
+  Switch.set_forward sw (fun _ -> Switch.Forward port);
+  Switch.add_ingress_hook sw (fun p ->
+      if p.Packet.size < 1000 then Switch.Absorb else Switch.Continue);
+  Switch.receive sw (pkt ~size:64 ());
+  Switch.receive sw (pkt ~size:1500 ());
+  Engine.Sim.run sim;
+  checki "one absorbed" 1 (Switch.consumed sw);
+  checki "one through" 1 (List.length !got)
+
+let test_switch_hook_order () =
+  let sim, sw, port, _ = build_switch_pair () in
+  Switch.set_forward sw (fun _ -> Switch.Forward port);
+  let order = ref [] in
+  Switch.add_ingress_hook sw (fun _ ->
+      order := 1 :: !order;
+      Switch.Continue);
+  Switch.add_ingress_hook sw (fun _ ->
+      order := 2 :: !order;
+      Switch.Continue);
+  Switch.receive sw (pkt ());
+  Engine.Sim.run sim;
+  Alcotest.(check (list int)) "registration order" [ 1; 2 ] (List.rev !order)
+
+(* ------------------------------ Routing ---------------------------- *)
+
+let test_routing_static_and_unknown () =
+  let r = Routing.create () in
+  Routing.add r 5 2;
+  (match Routing.static r (pkt ~dst:5 ()) with
+  | Switch.Forward p -> checki "static port" 2 p
+  | _ -> Alcotest.fail "expected forward");
+  match Routing.static r (pkt ~dst:9 ()) with
+  | Switch.Drop -> ()
+  | _ -> Alcotest.fail "unknown dst must drop"
+
+let test_routing_ecmp_sticky_per_flow () =
+  let r = Routing.create () in
+  Routing.add r 5 0;
+  Routing.add r 5 1;
+  let port_of hash =
+    match Routing.ecmp r (pkt ~dst:5 ~flow_hash:hash ()) with
+    | Switch.Forward p -> p
+    | _ -> -1
+  in
+  checki "same flow same port" (port_of 42) (port_of 42);
+  (* Different hashes cover both ports eventually. *)
+  let seen = List.sort_uniq compare (List.init 32 port_of) in
+  checki "uses both ports" 2 (List.length seen)
+
+let test_routing_spray_round_robins () =
+  let r = Routing.create () in
+  Routing.add r 5 0;
+  Routing.add r 5 1;
+  let ports =
+    List.init 4 (fun _ ->
+        match Routing.spray r (pkt ~dst:5 ()) with
+        | Switch.Forward p -> p
+        | _ -> -1)
+  in
+  Alcotest.(check (list int)) "alternates" [ 0; 1; 0; 1 ] ports
+
+(* ----------------------------- Topology ---------------------------- *)
+
+let test_host_pair_roundtrip () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  ignore
+    (Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 10)
+       ~delay:(Engine.Time.us 1) ());
+  let got = ref 0 in
+  Node.set_handler b (fun _ -> incr got);
+  Node.send a (pkt ~src:(Node.addr a) ~dst:(Node.addr b) ());
+  Engine.Sim.run sim;
+  checki "delivered" 1 !got
+
+let test_dumbbell_connectivity () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let db =
+    Topology.dumbbell topo ~n:2 ~edge_rate:(Engine.Time.gbps 100)
+      ~bottleneck_rate:(Engine.Time.gbps 100) ~delay:(Engine.Time.us 1) ()
+  in
+  let got = Array.make 2 0 in
+  Array.iteri
+    (fun i r -> Node.set_handler r (fun _ -> got.(i) <- got.(i) + 1))
+    db.Topology.db_receivers;
+  Array.iteri
+    (fun i s ->
+      Node.send s
+        (pkt ~src:(Node.addr s)
+           ~dst:(Node.addr db.Topology.db_receivers.(i))
+           ()))
+    db.Topology.db_senders;
+  Engine.Sim.run sim;
+  checki "rcv0" 1 got.(0);
+  checki "rcv1" 1 got.(1)
+
+let test_dumbbell_reverse_path () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let db =
+    Topology.dumbbell topo ~n:1 ~edge_rate:(Engine.Time.gbps 100)
+      ~bottleneck_rate:(Engine.Time.gbps 100) ~delay:(Engine.Time.us 1) ()
+  in
+  let got = ref 0 in
+  Node.set_handler db.Topology.db_senders.(0) (fun _ -> incr got);
+  Node.send
+    db.Topology.db_receivers.(0)
+    (pkt
+       ~src:(Node.addr db.Topology.db_receivers.(0))
+       ~dst:(Node.addr db.Topology.db_senders.(0))
+       ());
+  Engine.Sim.run sim;
+  checki "ack path works" 1 !got
+
+let test_two_path_default_and_alternate () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let tp =
+    Topology.two_path topo ~rate_a:(Engine.Time.gbps 100)
+      ~rate_b:(Engine.Time.gbps 10) ~delay_a:(Engine.Time.us 1)
+      ~delay_b:(Engine.Time.us 1) ~edge_rate:(Engine.Time.gbps 100) ()
+  in
+  let got = ref 0 in
+  Node.set_handler tp.Topology.tp_dst (fun _ -> incr got);
+  let send () =
+    Node.send tp.Topology.tp_src
+      (pkt
+         ~src:(Node.addr tp.Topology.tp_src)
+         ~dst:(Node.addr tp.Topology.tp_dst)
+         ())
+  in
+  send ();
+  Engine.Sim.run sim;
+  checki "via path A" 1 !got;
+  checkb "path A carried bytes" true (Link.bytes_sent tp.Topology.tp_link_a > 0);
+  (* Redirect to path B. *)
+  Switch.set_forward tp.Topology.tp_ingress (fun _ ->
+      Switch.Forward tp.Topology.tp_port_b);
+  send ();
+  Engine.Sim.run sim;
+  checki "via path B" 2 !got;
+  checkb "path B carried bytes" true (Link.bytes_sent tp.Topology.tp_link_b > 0)
+
+let test_proxy_chain_wiring () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let ch =
+    Topology.proxy_chain topo ~front_rate:(Engine.Time.gbps 100)
+      ~back_rate:(Engine.Time.gbps 40) ~delay:(Engine.Time.us 1) ()
+  in
+  let at_proxy = ref 0 and at_server = ref 0 in
+  Node.set_handler ch.Topology.ch_proxy (fun _ -> incr at_proxy);
+  Node.set_handler ch.Topology.ch_server (fun _ -> incr at_server);
+  Node.send ch.Topology.ch_client
+    (pkt
+       ~src:(Node.addr ch.Topology.ch_client)
+       ~dst:(Node.addr ch.Topology.ch_proxy)
+       ());
+  Node.send ch.Topology.ch_proxy
+    (pkt
+       ~src:(Node.addr ch.Topology.ch_proxy)
+       ~dst:(Node.addr ch.Topology.ch_server)
+       ());
+  Engine.Sim.run sim;
+  checki "client->proxy" 1 !at_proxy;
+  checki "proxy->server" 1 !at_server
+
+let test_star_connectivity () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let st =
+    Topology.star topo ~n:3 ~rate:(Engine.Time.gbps 100)
+      ~delay:(Engine.Time.us 1) ()
+  in
+  let got = ref 0 in
+  Node.set_handler st.Topology.st_server (fun _ -> incr got);
+  Array.iter
+    (fun c ->
+      Node.send c
+        (pkt ~src:(Node.addr c) ~dst:(Node.addr st.Topology.st_server) ()))
+    st.Topology.st_clients;
+  Engine.Sim.run sim;
+  checki "all clients reach server" 3 !got
+
+let test_leaf_spine_connectivity () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let ls =
+    Topology.leaf_spine topo ~leaves:3 ~spines:2 ~hosts_per_leaf:2
+      ~host_rate:(Engine.Time.gbps 10) ~fabric_rate:(Engine.Time.gbps 10)
+      ~delay:(Engine.Time.us 1) ()
+  in
+  let got = Array.make 6 0 in
+  Array.iteri
+    (fun l row ->
+      Array.iteri
+        (fun i h ->
+          Node.set_handler h (fun _ ->
+              got.((l * 2) + i) <- got.((l * 2) + i) + 1))
+        row)
+    ls.Topology.ls_hosts;
+  (* Every host sends one packet to every other host. *)
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun src ->
+          Array.iter
+            (fun row' ->
+              Array.iter
+                (fun dst ->
+                  if Node.addr src <> Node.addr dst then
+                    Node.send src
+                      (pkt ~src:(Node.addr src) ~dst:(Node.addr dst) ()))
+                row')
+            ls.Topology.ls_hosts)
+        row)
+    ls.Topology.ls_hosts;
+  Engine.Sim.run sim;
+  Array.iteri (fun i n -> checki (Printf.sprintf "host %d" i) 5 n) got
+
+let test_leaf_spine_ecmp_spreads_uplinks () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let ls =
+    Topology.leaf_spine topo ~leaves:2 ~spines:2 ~hosts_per_leaf:2
+      ~host_rate:(Engine.Time.gbps 10) ~fabric_rate:(Engine.Time.gbps 10)
+      ~delay:(Engine.Time.us 1) ()
+  in
+  let src = ls.Topology.ls_hosts.(0).(0) in
+  let dst = ls.Topology.ls_hosts.(1).(0) in
+  Node.set_handler dst (fun _ -> ());
+  (* Many flows (distinct hashes) from one host: both uplinks used. *)
+  for flow = 1 to 64 do
+    Node.send src
+      (pkt ~src:(Node.addr src) ~dst:(Node.addr dst) ~flow_hash:(flow * 7919)
+         ())
+  done;
+  Engine.Sim.run sim;
+  Array.iter
+    (fun link ->
+      checkb
+        (Printf.sprintf "uplink %s used" (Link.name link))
+        true
+        (Link.bytes_sent link > 0))
+    ls.Topology.ls_uplinks.(0)
+
+(* ------------------------------ Monitor ---------------------------- *)
+
+let test_tracer_records_link_and_switch () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let st =
+    Topology.star topo ~n:2 ~rate:(Engine.Time.gbps 10)
+      ~delay:(Engine.Time.us 1) ()
+  in
+  let tr = Tracer.create () in
+  Tracer.tap_switch tr st.Topology.st_switch;
+  Tracer.tap_link tr
+    (Switch.port st.Topology.st_switch st.Topology.st_server_port);
+  Node.set_handler st.Topology.st_server (fun _ -> ());
+  Node.send st.Topology.st_clients.(0)
+    (pkt
+       ~src:(Node.addr st.Topology.st_clients.(0))
+       ~dst:(Node.addr st.Topology.st_server)
+       ());
+  Engine.Sim.run sim;
+  (* Seen once at the switch, once on the server downlink. *)
+  checki "two observation points" 2 (Tracer.count tr);
+  let at_switch =
+    Tracer.filter tr ~f:(fun e -> e.Tracer.point = "star")
+  in
+  checki "switch tap" 1 (List.length at_switch);
+  (match Tracer.entries tr with
+  | first :: second :: _ ->
+    checkb "time ordering" true (first.Tracer.at <= second.Tracer.at)
+  | _ -> Alcotest.fail "missing entries");
+  checkb "raw payload described" true
+    (List.for_all (fun e -> e.Tracer.info = "raw") (Tracer.entries tr))
+
+let test_tracer_describes_protocols () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  let ab, _ =
+    Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 10)
+      ~delay:(Engine.Time.us 1) ()
+  in
+  let tr = Tracer.create () in
+  Tracer.tap_link tr ab;
+  let ea = Mtp.Endpoint.create a and eb = Mtp.Endpoint.create b in
+  Mtp.Endpoint.bind eb ~port:80 (fun _ -> ());
+  ignore (Mtp.Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:1000 ());
+  Engine.Sim.run sim;
+  checkb "mtp packets described" true
+    (List.exists
+       (fun e -> Astring_like.contains e.Tracer.info "mtp msg=")
+       (Tracer.entries tr))
+
+let test_tracer_bounded () =
+  let tr = Tracer.create ~capacity:16 () in
+  let sim = Engine.Sim.create () in
+  let link =
+    Link.create sim ~name:"l" ~rate:(Engine.Time.gbps 100) ~delay:0 ()
+  in
+  Link.set_dst link (fun _ -> ());
+  Tracer.tap_link tr link;
+  for _ = 1 to 200 do
+    Link.send link (pkt ())
+  done;
+  Engine.Sim.run sim;
+  checki "all counted" 200 (Tracer.count tr);
+  checkb "retention bounded" true (List.length (Tracer.entries tr) <= 16)
+
+let test_monitor_link_throughput () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Link.create sim ~name:"l" ~rate:(Engine.Time.gbps 10) ~delay:0 ()
+  in
+  Link.set_dst link (fun _ -> ());
+  let series =
+    Monitor.link_throughput sim link ~interval:(Engine.Time.us 10)
+      ~until:(Engine.Time.us 100) ()
+  in
+  (* Saturate the 10 Gbps link. *)
+  Engine.Sim.periodic sim ~interval:(Engine.Time.us 1) (fun () ->
+      for _ = 1 to 2 do
+        Link.send link (pkt ())
+      done;
+      Engine.Sim.now sim < Engine.Time.us 100);
+  Engine.Sim.run sim;
+  let mean = Stats.Timeseries.mean series in
+  checkb "near line rate" true (mean > 8.0 && mean < 10.5)
+
+let suite =
+  [ Alcotest.test_case "packet uids" `Quick test_packet_uids_unique;
+    Alcotest.test_case "packet size check" `Quick test_packet_rejects_empty;
+    Alcotest.test_case "flow hash" `Quick test_flow_hash_stable;
+    Alcotest.test_case "fifo order/caps" `Quick test_fifo_order_and_caps;
+    Alcotest.test_case "fifo byte cap" `Quick test_fifo_byte_cap;
+    Alcotest.test_case "ecn marking" `Quick test_ecn_marks_above_threshold;
+    Alcotest.test_case "trimming" `Quick test_trimming_trims_not_drops;
+    Alcotest.test_case "priority" `Quick test_priority_ordering;
+    Alcotest.test_case "wrr weights" `Quick test_wrr_shares_by_weight;
+    Alcotest.test_case "wrr work conserving" `Quick test_wrr_work_conserving;
+    Alcotest.test_case "fair mark" `Quick test_fair_mark_targets_heavy_class;
+    Alcotest.test_case "red marks" `Quick test_red_marks_probabilistically;
+    Alcotest.test_case "red quiet" `Quick test_red_quiet_queue_unmarked;
+    Alcotest.test_case "red validation" `Quick test_red_validates_thresholds;
+    Alcotest.test_case "qdisc hooks" `Quick test_hooks_fire;
+    QCheck_alcotest.to_alcotest prop_qdisc_conservation;
+    Alcotest.test_case "link timing" `Quick test_link_serialization_and_delay;
+    Alcotest.test_case "link drops" `Quick test_link_drops_when_queue_full;
+    Alcotest.test_case "link accounting" `Quick test_link_utilization_accounting;
+    Alcotest.test_case "switch forward" `Quick test_switch_forwards;
+    Alcotest.test_case "switch drop" `Quick test_switch_drop_action;
+    Alcotest.test_case "switch hook absorb" `Quick test_switch_hook_absorbs;
+    Alcotest.test_case "switch hook order" `Quick test_switch_hook_order;
+    Alcotest.test_case "routing static" `Quick test_routing_static_and_unknown;
+    Alcotest.test_case "routing ecmp" `Quick test_routing_ecmp_sticky_per_flow;
+    Alcotest.test_case "routing spray" `Quick test_routing_spray_round_robins;
+    Alcotest.test_case "host pair" `Quick test_host_pair_roundtrip;
+    Alcotest.test_case "dumbbell" `Quick test_dumbbell_connectivity;
+    Alcotest.test_case "dumbbell reverse" `Quick test_dumbbell_reverse_path;
+    Alcotest.test_case "two-path" `Quick test_two_path_default_and_alternate;
+    Alcotest.test_case "proxy chain" `Quick test_proxy_chain_wiring;
+    Alcotest.test_case "star" `Quick test_star_connectivity;
+    Alcotest.test_case "leaf-spine connectivity" `Quick
+      test_leaf_spine_connectivity;
+    Alcotest.test_case "leaf-spine ecmp" `Quick
+      test_leaf_spine_ecmp_spreads_uplinks;
+    Alcotest.test_case "tracer taps" `Quick test_tracer_records_link_and_switch;
+    Alcotest.test_case "tracer protocols" `Quick test_tracer_describes_protocols;
+    Alcotest.test_case "tracer bounded" `Quick test_tracer_bounded;
+    Alcotest.test_case "monitor throughput" `Quick test_monitor_link_throughput ]

@@ -1,0 +1,470 @@
+(* Behavioural tests for the TCP/DCTCP implementation, the proxy and
+   the flow generators.  Each builds a small network and runs it. *)
+
+open Netsim
+open Transport
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* Two hosts on a direct duplex link. *)
+let two_hosts ?(rate = Engine.Time.gbps 10) ?(delay = Engine.Time.us 2)
+    ?ab_qdisc () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  let ab, _ = Topology.wire_host_pair topo a b ~rate ~delay ?ab_qdisc () in
+  (sim, a, b, ab)
+
+let test_transfer_completes () =
+  let sim, a, b, _ = two_hosts () in
+  let client = Tcp.install a and server = Tcp.install b in
+  let received = ref 0 in
+  Tcp.listen server ~port:80 (fun conn ->
+      Tcp.set_on_data conn (fun _ n -> received := !received + n));
+  let conn = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  let closed = ref false in
+  Tcp.set_on_close conn (fun _ -> closed := true);
+  Tcp.send conn 1_000_000;
+  Tcp.close conn;
+  Engine.Sim.run sim;
+  checki "all bytes delivered" 1_000_000 !received;
+  checkb "sender saw FIN acked" true !closed;
+  checki "no retransmits on a clean path" 0 (Tcp.retransmits conn)
+
+let test_handshake_takes_a_round_trip () =
+  let sim, a, b, _ = two_hosts ~delay:(Engine.Time.us 10) () in
+  let client = Tcp.install a and server = Tcp.install b in
+  let first_data_at = ref 0 in
+  Tcp.listen server ~port:80 (fun conn ->
+      Tcp.set_on_data conn (fun _ _ ->
+          if !first_data_at = 0 then first_data_at := Engine.Sim.now sim));
+  let conn = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  Tcp.send conn 1000;
+  Tcp.close conn;
+  Engine.Sim.run sim;
+  (* SYN (10us) + SYN-ACK (10us) + data (10us) >= 30us one-way delays. *)
+  checkb "data arrives after >= 3 one-way delays" true
+    (!first_data_at >= Engine.Time.us 30)
+
+let test_multiple_connections_isolated () =
+  let sim, a, b, _ = two_hosts () in
+  let client = Tcp.install a and server = Tcp.install b in
+  (* Keyed by physical identity: conns are mutable records. *)
+  let per_conn = ref [] in
+  Tcp.listen server ~port:80 (fun conn ->
+      let counter = ref 0 in
+      per_conn := (conn, counter) :: !per_conn;
+      Tcp.set_on_data conn (fun conn n ->
+          let counter = List.assq conn !per_conn in
+          counter := !counter + n));
+  let c1 = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  let c2 = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  Tcp.send c1 5_000;
+  Tcp.send c2 7_000;
+  Tcp.close c1;
+  Tcp.close c2;
+  Engine.Sim.run sim;
+  let sizes = List.map (fun (_, v) -> !v) !per_conn in
+  Alcotest.(check (list int)) "both streams intact" [ 5_000; 7_000 ]
+    (List.sort compare sizes)
+
+let test_slow_start_growth () =
+  let sim, a, b, _ = two_hosts ~delay:(Engine.Time.us 50) () in
+  let client = Tcp.install a and server = Tcp.install b in
+  Tcp.listen server ~port:80 (fun _ -> ());
+  let conn = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  let cwnd0 = Tcp.cwnd_bytes conn in
+  Tcp.send conn 2_000_000;
+  Engine.Sim.run ~until:(Engine.Time.ms 1) sim;
+  checkb "cwnd grew from initial" true (Tcp.cwnd_bytes conn > cwnd0)
+
+let test_loss_recovery_via_fast_retransmit () =
+  (* A tiny queue forces drops; the transfer must still complete and
+     the sender must have retransmitted. *)
+  let sim, a, b, _ =
+    two_hosts ~rate:(Engine.Time.gbps 1)
+      ~ab_qdisc:(Qdisc.fifo ~cap_pkts:8 ())
+      ()
+  in
+  let client = Tcp.install a and server = Tcp.install b in
+  let received = ref 0 in
+  Tcp.listen server ~port:80 (fun conn ->
+      Tcp.set_on_data conn (fun _ n -> received := !received + n));
+  let conn = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  let closed = ref false in
+  Tcp.set_on_close conn (fun _ -> closed := true);
+  Tcp.send conn 3_000_000;
+  Tcp.close conn;
+  Engine.Sim.run sim;
+  checki "reliable despite drops" 3_000_000 !received;
+  checkb "closed" true !closed;
+  checkb "retransmissions happened" true (Tcp.retransmits conn > 0)
+
+let test_rto_recovers_from_total_blackout () =
+  (* Drop every data packet for a while by detaching the link dst is
+     impossible mid-run; instead use a 1-packet queue under a burst so
+     dupacks cannot arrive (everything but one packet is lost). *)
+  let sim, a, b, _ =
+    two_hosts ~rate:(Engine.Time.mbps 100)
+      ~ab_qdisc:(Qdisc.fifo ~cap_pkts:1 ())
+      ()
+  in
+  let client = Tcp.install a and server = Tcp.install b in
+  let received = ref 0 in
+  Tcp.listen server ~port:80 (fun conn ->
+      Tcp.set_on_data conn (fun _ n -> received := !received + n));
+  let conn = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  Tcp.send conn 100_000;
+  Tcp.close conn;
+  Engine.Sim.run ~until:(Engine.Time.sec 1) sim;
+  checki "reliable despite heavy loss" 100_000 !received;
+  checkb "timeouts fired" true (Tcp.timeouts conn > 0)
+
+let test_receive_window_backpressure () =
+  (* Receiver never reads: the sender must stop after filling the
+     64 KB window, and resume when the app reads. *)
+  let sim, a, b, _ = two_hosts () in
+  let client = Tcp.install a and server = Tcp.install b in
+  let sconn = ref None in
+  Tcp.listen server ~port:80 ~rcv_buf:65_536 (fun conn ->
+      Tcp.set_auto_read conn false;
+      sconn := Some conn);
+  let conn = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  Tcp.send conn 1_000_000;
+  Engine.Sim.run ~until:(Engine.Time.ms 2) sim;
+  let srv = match !sconn with Some c -> c | None -> Alcotest.fail "no conn" in
+  checkb "window filled" true (Tcp.rx_buffered srv <= 65_536);
+  checkb "window mostly filled" true (Tcp.rx_buffered srv > 60_000);
+  checkb "sender blocked (stall accounted)" true
+    (Tcp.stall_time conn > Engine.Time.us 500);
+  let delivered_before = Tcp.bytes_delivered srv in
+  (* Application drains: transfer must resume. *)
+  Tcp.read srv 65_536;
+  Engine.Sim.run ~until:(Engine.Time.ms 4) sim;
+  checkb "resumed after window update" true
+    (Tcp.bytes_delivered srv > delivered_before)
+
+let test_zero_window_probe_survives_update_loss () =
+  (* Even if the window-update ack is the only signal and it could be
+     lost, persist probes keep the connection alive.  Here we just
+     verify probes re-elicit progress with a long idle window. *)
+  let sim, a, b, _ = two_hosts () in
+  let client = Tcp.install a and server = Tcp.install b in
+  let sconn = ref None in
+  Tcp.listen server ~port:80 ~rcv_buf:10_000 (fun conn ->
+      Tcp.set_auto_read conn false;
+      sconn := Some conn);
+  let conn = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  Tcp.send conn 200_000;
+  Engine.Sim.run ~until:(Engine.Time.ms 1) sim;
+  (* Drain a tiny amount (< 1 MSS): no window-update is sent, the
+     sender learns about the space only via a probe. *)
+  (match !sconn with Some c -> Tcp.read c 200_000 | None -> ());
+  Engine.Sim.run ~until:(Engine.Time.ms 5) sim;
+  match !sconn with
+  | Some c -> checkb "probe reopened the flow" true (Tcp.bytes_delivered c > 10_000)
+  | None -> Alcotest.fail "no conn"
+
+let test_dctcp_alpha_reacts_to_marks () =
+  (* Bottleneck with DCTCP marking: the window stabilizes instead of
+     oscillating to loss; there should be marks and few retransmits. *)
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let db =
+    Topology.dumbbell topo ~n:1 ~edge_rate:(Engine.Time.gbps 10)
+      ~bottleneck_rate:(Engine.Time.gbps 1) ~delay:(Engine.Time.us 5)
+      ~bottleneck_qdisc:(Qdisc.ecn ~cap_pkts:128 ~mark_threshold:20 ())
+      ()
+  in
+  let snd = db.Topology.db_senders.(0) and rcv = db.Topology.db_receivers.(0) in
+  let client = Tcp.install ~cc:(Dctcp { g = 0.0625 }) snd in
+  let server = Tcp.install ~cc:(Dctcp { g = 0.0625 }) rcv in
+  let received = ref 0 in
+  Tcp.listen server ~port:80 (fun conn ->
+      Tcp.set_on_data conn (fun _ n -> received := !received + n));
+  let conn = Tcp.connect client ~dst:(Node.addr rcv) ~dst_port:80 () in
+  Tcp.send conn 2_000_000;
+  Tcp.close conn;
+  Engine.Sim.run ~until:(Engine.Time.ms 50) sim;
+  checki "delivered fully" 2_000_000 !received;
+  let q = Link.qdisc db.Topology.db_bottleneck in
+  checkb "ECN marks happened" true (q.Qdisc.marks () > 0);
+  checkb "ECN kept losses away" true (Tcp.timeouts conn = 0)
+
+let test_reno_halves_on_ecn () =
+  let sim, a, b, _ =
+    two_hosts ~rate:(Engine.Time.gbps 1)
+      ~ab_qdisc:(Qdisc.ecn ~cap_pkts:256 ~mark_threshold:5 ())
+      ()
+  in
+  let client = Tcp.install ~cc:Reno a and server = Tcp.install ~cc:Reno b in
+  Tcp.listen server ~port:80 (fun _ -> ());
+  let conn = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  Tcp.send conn 10_000_000;
+  (* Run long enough to overflow the marking threshold. *)
+  Engine.Sim.run ~until:(Engine.Time.ms 2) sim;
+  checkb "ssthresh pulled down from infinity" true
+    (Tcp.ssthresh_bytes conn < 10_000_000)
+
+let test_spraying_reorder_causes_retransmits () =
+  (* Two equal-rate paths with unequal delay + per-packet spraying:
+     reordering generates dup-ACKs and spurious retransmissions. *)
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let tp =
+    Topology.two_path topo ~rate_a:(Engine.Time.gbps 10)
+      ~rate_b:(Engine.Time.gbps 10) ~delay_a:(Engine.Time.us 1)
+      ~delay_b:(Engine.Time.us 25) ~edge_rate:(Engine.Time.gbps 10) ()
+  in
+  Switch.set_forward tp.Topology.tp_ingress
+    (Routing.spray tp.Topology.tp_routes);
+  let client = Tcp.install tp.Topology.tp_src in
+  let server = Tcp.install tp.Topology.tp_dst in
+  let received = ref 0 in
+  Tcp.listen server ~port:80 (fun conn ->
+      Tcp.set_on_data conn (fun _ n -> received := !received + n));
+  let conn =
+    Tcp.connect client ~dst:(Node.addr tp.Topology.tp_dst) ~dst_port:80 ()
+  in
+  Tcp.send conn 2_000_000;
+  Tcp.close conn;
+  Engine.Sim.run ~until:(Engine.Time.ms 20) sim;
+  checki "stream survives reordering" 2_000_000 !received;
+  checkb "reordering triggered spurious retransmits" true
+    (Tcp.retransmits conn > 0)
+
+(* -------------------------------- Rtx ------------------------------ *)
+
+let test_rtx_initial_and_samples () =
+  let r = Rtx.create () in
+  checki "initial srtt is the default rto" (Engine.Time.us 200) (Rtx.srtt r);
+  Rtx.observe r (Engine.Time.us 10);
+  checki "first sample becomes srtt" (Engine.Time.us 10) (Rtx.srtt r);
+  (* RTO = srtt + 4*rttvar = 10 + 4*5 = 30us, clamped to min 50us. *)
+  checki "rto clamped to the floor" (Engine.Time.us 50) (Rtx.rto r)
+
+let test_rtx_smooths () =
+  let r = Rtx.create () in
+  Rtx.observe r (Engine.Time.us 100);
+  for _ = 1 to 50 do
+    Rtx.observe r (Engine.Time.us 10)
+  done;
+  checkb "srtt converges toward recent samples" true
+    (Rtx.srtt r < Engine.Time.us 20)
+
+let test_rtx_backoff_doubles_and_resets () =
+  let r = Rtx.create ~min_rto:(Engine.Time.us 100) () in
+  Rtx.observe r (Engine.Time.us 100);
+  let base = Rtx.rto r in
+  Rtx.backoff r;
+  checki "doubled" (2 * base) (Rtx.rto r);
+  Rtx.backoff r;
+  checki "doubled again" (4 * base) (Rtx.rto r);
+  Rtx.reset_backoff r;
+  checki "reset" base (Rtx.rto r)
+
+let test_rtx_max_clamp () =
+  let r = Rtx.create ~max_rto:(Engine.Time.ms 1) () in
+  Rtx.observe r (Engine.Time.us 400);
+  for _ = 1 to 10 do
+    Rtx.backoff r
+  done;
+  checkb "never exceeds the ceiling" true (Rtx.rto r <= Engine.Time.ms 1)
+
+(* --------------------------- Bidirectional ------------------------- *)
+
+let test_request_response_on_one_connection () =
+  (* A connection carries data both ways: the client sends a request,
+     the server answers on the same conn. *)
+  let sim, a, b, _ = two_hosts () in
+  let client = Tcp.install a and server = Tcp.install b in
+  Tcp.listen server ~port:80 (fun conn ->
+      let seen = ref 0 in
+      Tcp.set_on_data conn (fun conn n ->
+          seen := !seen + n;
+          if !seen = 10_000 then Tcp.send conn 70_000));
+  let conn = Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 () in
+  let reply = ref 0 in
+  Tcp.set_on_data conn (fun _ n -> reply := !reply + n);
+  Tcp.send conn 10_000;
+  Engine.Sim.run ~until:(Engine.Time.ms 20) sim;
+  checki "full response received by the client" 70_000 !reply
+
+(* ------------------------------- UDP ------------------------------- *)
+
+let test_udp_message_completion () =
+  let sim, a, b, _ = two_hosts () in
+  let ua = Udp.install a and ub = Udp.install b in
+  let completed = ref [] in
+  Udp.listen ub ~port:53 (fun ~src:_ ~msg_id ~size ->
+      completed := (msg_id, size) :: !completed);
+  let id = Udp.send ua ~dst:(Node.addr b) ~dst_port:53 ~size:10_000 in
+  Engine.Sim.run sim;
+  Alcotest.(check (list (pair int int))) "message completed" [ (id, 10_000) ]
+    !completed;
+  checki "bytes" 10_000 (Udp.bytes_received ub)
+
+let test_udp_no_reliability () =
+  let sim, a, b, _ =
+    two_hosts ~rate:(Engine.Time.mbps 10)
+      ~ab_qdisc:(Qdisc.fifo ~cap_pkts:2 ())
+      ()
+  in
+  let ua = Udp.install a and ub = Udp.install b in
+  let completed = ref 0 in
+  Udp.listen ub ~port:53 (fun ~src:_ ~msg_id:_ ~size:_ -> incr completed);
+  ignore (Udp.send ua ~dst:(Node.addr b) ~dst_port:53 ~size:1_000_000);
+  Engine.Sim.run sim;
+  checki "message never completes after drops" 0 !completed;
+  checkb "some bytes still arrived" true (Udp.bytes_received ub > 0)
+
+(* ------------------------------ Proxy ------------------------------ *)
+
+let proxy_world ?back_qdisc () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let ch =
+    Topology.proxy_chain topo ~front_rate:(Engine.Time.gbps 100)
+      ~back_rate:(Engine.Time.gbps 40) ~delay:(Engine.Time.us 2) ?back_qdisc
+      ()
+  in
+  (sim, ch)
+
+let test_proxy_relays_end_to_end () =
+  let sim, ch = proxy_world () in
+  let client = Tcp.install ch.Topology.ch_client in
+  let pstack = Tcp.install ch.Topology.ch_proxy in
+  let server = Tcp.install ch.Topology.ch_server in
+  let received = ref 0 in
+  Tcp.listen server ~port:90 (fun conn ->
+      Tcp.set_on_data conn (fun _ n -> received := !received + n));
+  let proxy =
+    Proxy.create pstack ~front_port:80
+      ~server:(Node.addr ch.Topology.ch_server) ~server_port:90 ()
+  in
+  let conn =
+    Tcp.connect client ~dst:(Node.addr ch.Topology.ch_proxy) ~dst_port:80 ()
+  in
+  Tcp.send conn 2_000_000;
+  Tcp.close conn;
+  Engine.Sim.run ~until:(Engine.Time.ms 50) sim;
+  checki "bytes reach the server through termination" 2_000_000 !received;
+  checki "one session" 1 (Proxy.sessions proxy);
+  checki "relayed" 2_000_000 (Proxy.relayed_bytes proxy)
+
+let test_proxy_unbounded_buffer_grows () =
+  let sim, ch = proxy_world () in
+  (* Socket send buffers sized to keep endpoints loss-free: the rate
+     mismatch must be absorbed by the proxy, not by sender drops. *)
+  let client = Tcp.install ~snd_buf:1_000_000 ch.Topology.ch_client in
+  let pstack = Tcp.install ~snd_buf:1_000_000 ch.Topology.ch_proxy in
+  let server = Tcp.install ch.Topology.ch_server in
+  Tcp.listen server ~port:90 (fun _ -> ());
+  let proxy =
+    Proxy.create pstack ~front_port:80
+      ~server:(Node.addr ch.Topology.ch_server) ~server_port:90 ()
+  in
+  let conn =
+    Tcp.connect client ~dst:(Node.addr ch.Topology.ch_proxy) ~dst_port:80 ()
+  in
+  Tcp.send conn 50_000_000;
+  Engine.Sim.run ~until:(Engine.Time.ms 2) sim;
+  (* 100G in, 40G out: ~60 Gbps * 2 ms / 8 = 15 MB of buffer growth
+     (minus slow start); expect at least a few MB. *)
+  checkb "rate mismatch accumulates in the proxy" true
+    (Proxy.max_occupancy proxy > 2_000_000)
+
+let test_proxy_bounded_buffer_blocks_client () =
+  (* A shallow back queue keeps the upstream flight bounded so that
+     total proxy memory is governed by the relay caps. *)
+  let sim, ch = proxy_world ~back_qdisc:(Qdisc.fifo ~cap_pkts:128 ()) () in
+  let client = Tcp.install ~snd_buf:1_000_000 ch.Topology.ch_client in
+  let pstack = Tcp.install ~snd_buf:200_000 ch.Topology.ch_proxy in
+  let server = Tcp.install ch.Topology.ch_server in
+  Tcp.listen server ~port:90 (fun _ -> ());
+  let proxy =
+    Proxy.create pstack ~front_port:80
+      ~server:(Node.addr ch.Topology.ch_server) ~server_port:90
+      ~front_rcv_buf:200_000 ~relay_cap:200_000 ()
+  in
+  let conn =
+    Tcp.connect client ~dst:(Node.addr ch.Topology.ch_proxy) ~dst_port:80 ()
+  in
+  Tcp.send conn 50_000_000;
+  Engine.Sim.run ~until:(Engine.Time.ms 2) sim;
+  checkb "buffer stays bounded" true (Proxy.max_occupancy proxy < 1_200_000);
+  (* The 100 Gbps client is clamped to roughly the 40 Gbps back link:
+     the advertised window throttles it (receive-window back-pressure).
+     40 Gbps * 2 ms / 8 = 10 MB at most. *)
+  let relayed = Proxy.relayed_bytes proxy in
+  checkb "client clamped near the slow back link" true
+    (relayed > 5_000_000 && relayed < 12_000_000);
+  checkb "client window-limited, not cwnd-limited" true
+    (Tcp.unacked conn <= 200_000 + Tcp.mss conn)
+
+(* ----------------------------- Flowgen ----------------------------- *)
+
+let test_closed_loop_measures_fct () =
+  let sim, a, b, _ = two_hosts () in
+  let client = Tcp.install a and server = Tcp.install b in
+  let meter = Stats.Meter.create sim ~interval:(Engine.Time.us 100) () in
+  ignore (Flowgen.sink ~meter server ~port:80);
+  let fcts = Stats.Summary.create () in
+  let cl =
+    Flowgen.closed_loop client ~dst:(Node.addr b) ~dst_port:80
+      ~message_bytes:16_384 ~max_messages:20
+      ~on_fct:(fun fct -> Stats.Summary.add fcts (Engine.Time.to_float_us fct))
+      ()
+  in
+  Engine.Sim.run ~until:(Engine.Time.ms 20) sim;
+  checki "all messages sent" 20 (Flowgen.messages_sent cl);
+  checki "all FCTs recorded" 20 (Stats.Summary.count fcts);
+  (* Each flow pays at least handshake (2us+2us) + data. *)
+  checkb "FCT includes handshake" true (Stats.Summary.min_value fcts >= 6.0);
+  checkb "sink metered bytes" true
+    (Stats.Meter.total_bytes meter >= 20 * 16_384)
+
+let test_persistent_flow_saturates () =
+  let sim, a, b, _ = two_hosts ~rate:(Engine.Time.gbps 10) () in
+  let client = Tcp.install a and server = Tcp.install b in
+  let meter = Stats.Meter.create sim ~interval:(Engine.Time.us 50) () in
+  ignore (Flowgen.sink ~meter server ~port:80);
+  ignore (Flowgen.persistent client ~dst:(Node.addr b) ~dst_port:80 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 10) sim;
+  let mean = Stats.Meter.mean_gbps meter in
+  (* Mean over the whole run includes slow start and the one-time
+     slow-start overshoot recovery, hence the 7 Gbps floor on a 10 Gbps
+     link. *)
+  checkb "long flow reaches most of line rate" true (mean > 7.0)
+
+let suite =
+  [ Alcotest.test_case "transfer completes" `Quick test_transfer_completes;
+    Alcotest.test_case "handshake RTT" `Quick test_handshake_takes_a_round_trip;
+    Alcotest.test_case "conn isolation" `Quick test_multiple_connections_isolated;
+    Alcotest.test_case "slow start" `Quick test_slow_start_growth;
+    Alcotest.test_case "fast retransmit" `Quick
+      test_loss_recovery_via_fast_retransmit;
+    Alcotest.test_case "rto blackout" `Quick test_rto_recovers_from_total_blackout;
+    Alcotest.test_case "rwnd backpressure" `Quick test_receive_window_backpressure;
+    Alcotest.test_case "zero-window probe" `Quick
+      test_zero_window_probe_survives_update_loss;
+    Alcotest.test_case "dctcp alpha" `Quick test_dctcp_alpha_reacts_to_marks;
+    Alcotest.test_case "reno ecn" `Quick test_reno_halves_on_ecn;
+    Alcotest.test_case "spray reorder" `Quick
+      test_spraying_reorder_causes_retransmits;
+    Alcotest.test_case "rtx defaults" `Quick test_rtx_initial_and_samples;
+    Alcotest.test_case "rtx smoothing" `Quick test_rtx_smooths;
+    Alcotest.test_case "rtx backoff" `Quick test_rtx_backoff_doubles_and_resets;
+    Alcotest.test_case "rtx ceiling" `Quick test_rtx_max_clamp;
+    Alcotest.test_case "bidirectional conn" `Quick
+      test_request_response_on_one_connection;
+    Alcotest.test_case "udp completion" `Quick test_udp_message_completion;
+    Alcotest.test_case "udp unreliable" `Quick test_udp_no_reliability;
+    Alcotest.test_case "proxy relay" `Quick test_proxy_relays_end_to_end;
+    Alcotest.test_case "proxy unbounded buffer" `Quick
+      test_proxy_unbounded_buffer_grows;
+    Alcotest.test_case "proxy bounded HOL" `Quick
+      test_proxy_bounded_buffer_blocks_client;
+    Alcotest.test_case "closed loop FCT" `Quick test_closed_loop_measures_fct;
+    Alcotest.test_case "persistent saturates" `Quick test_persistent_flow_saturates ]

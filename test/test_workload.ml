@@ -1,0 +1,190 @@
+(* Tests for distributions, size mixes, and traffic drivers. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let rng () = Engine.Rng.create 99
+
+(* ------------------------------- Dist ------------------------------ *)
+
+let test_constant () =
+  let d = Workload.Dist.constant 42.0 in
+  let r = rng () in
+  for _ = 1 to 10 do
+    checkf "constant" 42.0 (Workload.Dist.sample d r)
+  done
+
+let test_uniform_bounds () =
+  let d = Workload.Dist.uniform ~lo:5.0 ~hi:10.0 in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Workload.Dist.sample d r in
+    checkb "in range" true (v >= 5.0 && v < 10.0)
+  done
+
+let test_exponential_mean () =
+  let d = Workload.Dist.exponential ~mean:100.0 in
+  let m = Workload.Dist.mean_estimate d (rng ()) 50_000 in
+  checkb "mean near 100" true (m > 95.0 && m < 105.0)
+
+let test_lognormal_positive () =
+  let d = Workload.Dist.lognormal ~mu:10.0 ~sigma:2.0 in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    checkb "positive" true (Workload.Dist.sample d r > 0.0)
+  done
+
+let test_empirical_interpolation () =
+  let d = Workload.Dist.empirical [ (10.0, 0.5); (20.0, 1.0) ] in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Workload.Dist.sample d r in
+    checkb "within hull" true (v >= 0.0 && v <= 20.0)
+  done
+
+let test_empirical_validation () =
+  Alcotest.check_raises "monotone required"
+    (Invalid_argument "Dist.empirical: non-monotone") (fun () ->
+      ignore (Workload.Dist.empirical [ (1.0, 0.9); (2.0, 0.5) ]))
+
+let test_clamped () =
+  let d =
+    Workload.Dist.clamped ~lo:100.0 ~hi:200.0
+      (Workload.Dist.uniform ~lo:0.0 ~hi:1000.0)
+  in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Workload.Dist.sample d r in
+    checkb "clamped" true (v >= 100.0 && v <= 200.0)
+  done
+
+let test_mix_weights () =
+  (* A 9:1 mixture of two constants: the sample mean reveals the
+     weighting. *)
+  let d =
+    Workload.Dist.mix
+      [ (9.0, Workload.Dist.constant 0.0); (1.0, Workload.Dist.constant 10.0) ]
+  in
+  let m = Workload.Dist.mean_estimate d (rng ()) 50_000 in
+  checkb "mixture mean near 1.0" true (m > 0.8 && m < 1.2)
+
+let test_sample_bytes_positive () =
+  let d = Workload.Dist.constant 0.2 in
+  checki "at least one byte" 1 (Workload.Dist.sample_bytes d (rng ()))
+
+(* ------------------------------- Sizes ----------------------------- *)
+
+let test_paper_mix_range () =
+  let r = rng () in
+  for _ = 1 to 5000 do
+    let v = Workload.Dist.sample_bytes Workload.Sizes.paper_mix r in
+    checkb "10KB..1GB" true (v >= 10_000 && v <= 1_000_000_000)
+  done
+
+let test_paper_mix_skew () =
+  (* "Skewed toward short messages": the median must sit well below the
+     mean. *)
+  let r = rng () in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Stats.Summary.add s
+      (float_of_int (Workload.Dist.sample_bytes Workload.Sizes.paper_mix r))
+  done;
+  checkb "median << mean (heavy tail)" true
+    (Stats.Summary.median s *. 3.0 < Stats.Summary.mean s);
+  checkb "most messages are small" true
+    (Stats.Summary.percentile s 75.0 < 300_000.0)
+
+let test_paper_mix_cap () =
+  let d = Workload.Sizes.paper_mix_capped ~max:1_000_000 in
+  let r = rng () in
+  for _ = 1 to 5000 do
+    checkb "capped" true (Workload.Dist.sample_bytes d r <= 1_000_000)
+  done
+
+let test_websearch_range () =
+  let r = rng () in
+  for _ = 1 to 2000 do
+    let v = Workload.Dist.sample_bytes Workload.Sizes.websearch r in
+    checkb "within cdf hull" true (v >= 1 && v <= 30_000_000)
+  done
+
+(* ------------------------------ Driver ----------------------------- *)
+
+let test_closed_loop_counts () =
+  let sim = Engine.Sim.create () in
+  let driver =
+    Workload.Driver.closed_loop sim ~rng:(rng ())
+      ~size:(Workload.Sizes.fixed 1000) ~max_transfers:5
+      (fun ~size ~on_complete ->
+        (* Instant "network": complete after 1 us. *)
+        ignore
+          (Engine.Sim.after sim (Engine.Time.us 1) (fun () ->
+               on_complete (Engine.Time.us size))))
+  in
+  Engine.Sim.run sim;
+  checki "started" 5 (Workload.Driver.started driver);
+  checki "completed" 5 (Workload.Driver.completed driver);
+  checki "fcts recorded" 5 (Stats.Summary.count (Workload.Driver.fcts driver))
+
+let test_closed_loop_parallel () =
+  let sim = Engine.Sim.create () in
+  let active = ref 0 and peak = ref 0 in
+  let driver =
+    Workload.Driver.closed_loop sim ~rng:(rng ())
+      ~size:(Workload.Sizes.fixed 1000) ~parallel:3 ~max_transfers:12
+      (fun ~size:_ ~on_complete ->
+        incr active;
+        if !active > !peak then peak := !active;
+        ignore
+          (Engine.Sim.after sim (Engine.Time.us 10) (fun () ->
+               decr active;
+               on_complete (Engine.Time.us 10))))
+  in
+  Engine.Sim.run sim;
+  checki "all transfers ran" 12 (Workload.Driver.completed driver);
+  checki "parallelism respected" 3 !peak
+
+let test_poisson_respects_until () =
+  let sim = Engine.Sim.create () in
+  let driver =
+    Workload.Driver.poisson sim ~rng:(rng ())
+      ~size:(Workload.Sizes.fixed 1000)
+      ~mean_interarrival:(Engine.Time.us 10)
+      ~until:(Engine.Time.ms 1)
+      (fun ~size:_ ~on_complete -> on_complete 0)
+  in
+  ignore (Engine.Sim.schedule sim ~at:(Engine.Time.ms 2) (fun () -> ()));
+  Engine.Sim.run sim;
+  (* ~100 expected arrivals in 1 ms at 10 us spacing. *)
+  let n = Workload.Driver.started driver in
+  checkb "arrival count plausible" true (n > 50 && n < 200)
+
+let test_load_interarrival () =
+  (* 50% load of 100 Gbps with 125 KB messages = one message every
+     20 us. *)
+  let gap =
+    Workload.Driver.load_interarrival ~rate:(Engine.Time.gbps 100) ~load:0.5
+      ~mean_size:125_000.0
+  in
+  checki "20us" (Engine.Time.us 20) gap
+
+let suite =
+  [ Alcotest.test_case "dist constant" `Quick test_constant;
+    Alcotest.test_case "dist uniform" `Quick test_uniform_bounds;
+    Alcotest.test_case "dist exponential" `Quick test_exponential_mean;
+    Alcotest.test_case "dist lognormal" `Quick test_lognormal_positive;
+    Alcotest.test_case "dist empirical" `Quick test_empirical_interpolation;
+    Alcotest.test_case "dist empirical check" `Quick test_empirical_validation;
+    Alcotest.test_case "dist clamped" `Quick test_clamped;
+    Alcotest.test_case "dist mix" `Quick test_mix_weights;
+    Alcotest.test_case "dist bytes >= 1" `Quick test_sample_bytes_positive;
+    Alcotest.test_case "paper mix range" `Quick test_paper_mix_range;
+    Alcotest.test_case "paper mix skew" `Quick test_paper_mix_skew;
+    Alcotest.test_case "paper mix cap" `Quick test_paper_mix_cap;
+    Alcotest.test_case "websearch range" `Quick test_websearch_range;
+    Alcotest.test_case "driver closed loop" `Quick test_closed_loop_counts;
+    Alcotest.test_case "driver parallel" `Quick test_closed_loop_parallel;
+    Alcotest.test_case "driver poisson until" `Quick test_poisson_respects_until;
+    Alcotest.test_case "driver load calc" `Quick test_load_interarrival ]
