@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench exhibits extensions sweeps examples clean
+.PHONY: all build test bench check exhibits extensions sweeps examples clean
 
 all: build
 
@@ -12,6 +12,15 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# CI gate: full build, the test suite, and a quick datapath bench that
+# must produce the allocation/throughput guardrail report.
+check:
+	dune build @all
+	dune runtest --force
+	rm -f BENCH_engine.json
+	dune exec bench/main.exe -- --smoke
+	test -f BENCH_engine.json
 
 exhibits:
 	dune exec bin/mtp_sim.exe -- all

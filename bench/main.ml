@@ -7,7 +7,12 @@
    exhibit (a scaled-down end-to-end simulation of that experiment,
    so regressions in any experiment's cost are visible), plus datapath
    micro-benches (header encode/decode, event queue, qdiscs, congestion
-   controllers) that dominate simulation cost. *)
+   controllers) that dominate simulation cost.
+
+   Part 3 measures datapath guardrails — events/sec, packets/sec and
+   minor-heap words allocated per simulated event / forwarded packet —
+   and writes them with the pre-refactor baseline to BENCH_engine.json.
+   `--smoke` runs only this part (a few seconds) for CI. *)
 
 open Bechamel
 open Toolkit
@@ -62,7 +67,7 @@ let bench_wire_size =
 let bench_eventqueue =
   Test.make ~name:"engine/heap-1k"
     (Staged.stage (fun () ->
-         let q = Engine.Eventqueue.create () in
+         let q = Engine.Eventqueue.create ~dummy:() () in
          for i = 0 to 999 do
            Engine.Eventqueue.add q ~time:(i * 7919 mod 1000) ~seq:i ()
          done;
@@ -80,6 +85,9 @@ let bench_sim_events =
          tick 10_000;
          Engine.Sim.run sim))
 
+(* A shared clock source for packet construction in the queue benches. *)
+let bsim = Engine.Sim.create ()
+
 let bench_qdisc_fifo =
   Test.make ~name:"netsim/fifo-1k-pkts"
     (Staged.stage (fun () ->
@@ -87,7 +95,7 @@ let bench_qdisc_fifo =
          for _ = 1 to 1000 do
            ignore
              (q.Netsim.Qdisc.enqueue
-                (Netsim.Packet.make ~now:0 ~src:0 ~dst:1 ~size:1500 ()))
+                (Netsim.Packet.make bsim ~src:0 ~dst:1 ~size:1500 ()))
          done;
          let rec drain () =
            match q.Netsim.Qdisc.dequeue () with
@@ -107,7 +115,7 @@ let bench_fair_mark =
          for i = 1 to 1000 do
            ignore
              (q.Netsim.Qdisc.enqueue
-                (Netsim.Packet.make ~entity:(i land 1) ~now:0 ~src:0 ~dst:1
+                (Netsim.Packet.make ~entity:(i land 1) bsim ~src:0 ~dst:1
                    ~size:1500 ()))
          done))
 
@@ -273,6 +281,135 @@ let run_benchmarks () =
     (fun (name, est) -> Printf.printf "%-40s %14.1f ns/run\n" name est)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: datapath guardrails                                          *)
+
+(* Pre-refactor (closure-heap engine, allocating packet path) numbers,
+   measured with the identical drivers below on the growth seed. *)
+let baseline_words_per_event = 18.00
+let baseline_words_per_packet = 74.00
+
+(* Run [f] twice (first run warms up and fixes array sizes), then
+   report (minor words / op, ops / second) for the second run. *)
+let measure f =
+  ignore (f ());
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let ops = f () in
+  let t1 = Unix.gettimeofday () in
+  let words = Gc.minor_words () -. w0 in
+  (words /. float_of_int ops, float_of_int ops /. (t1 -. t0))
+
+(* A chain of self-scheduling events: the cost of one [Sim.after] plus
+   one dispatch (the app closure itself accounts for a few words). *)
+let datapath_events () =
+  let n = 200_000 in
+  measure (fun () ->
+      let sim = Engine.Sim.create () in
+      let rec tick k =
+        if k > 0 then ignore (Engine.Sim.after sim 10 (fun () -> tick (k - 1)))
+      in
+      tick n;
+      Engine.Sim.run sim;
+      n)
+
+(* One timer object re-armed for every firing: the reusable-timer fast
+   path (no per-occurrence closure or handle allocation). *)
+let datapath_timer () =
+  let n = 200_000 in
+  measure (fun () ->
+      let sim = Engine.Sim.create () in
+      let count = ref 0 in
+      let tm_cell = ref None in
+      let tm =
+        Engine.Sim.timer sim (fun () ->
+            match !tm_cell with
+            | Some tm ->
+              if !count < n then begin
+                incr count;
+                Engine.Sim.arm_after tm 10
+              end
+            | None -> ())
+      in
+      tm_cell := Some tm;
+      Engine.Sim.arm_after tm 10;
+      Engine.Sim.run sim;
+      !count)
+
+(* Steady-state forwarding over a pooled link: one packet on the wire
+   at a time (120 ns serialization at 100G), recycled on delivery. *)
+let datapath_packets () =
+  let n = 100_000 in
+  measure (fun () ->
+      let sim = Engine.Sim.create () in
+      let pool = Netsim.Packet.pool sim in
+      let link =
+        Netsim.Link.create sim ~name:"wire" ~rate:(Engine.Time.gbps 100)
+          ~delay:(Engine.Time.us 1) ~pool ()
+      in
+      let delivered = ref 0 in
+      Netsim.Link.set_dst link (fun pkt ->
+          incr delivered;
+          Netsim.Packet.release pool pkt);
+      let gap = Engine.Time.tx_time ~bytes:1500 ~rate:(Engine.Time.gbps 100) in
+      let sent = ref 0 in
+      ignore @@ Engine.Sim.periodic sim ~interval:gap (fun () ->
+          Netsim.Link.send link
+            (Netsim.Packet.recycle pool ~src:0 ~dst:1 ~size:1500 ());
+          incr sent;
+          !sent < n);
+      Engine.Sim.run sim;
+      !delivered)
+
+let datapath_report () =
+  let ev_words, ev_rate = datapath_events () in
+  let tm_words, tm_rate = datapath_timer () in
+  let pk_words, pk_rate = datapath_packets () in
+  Printf.printf "
+== datapath guardrails ==
+";
+  Printf.printf "%-32s %8.2f words/op %12.0f op/s (baseline %.2f)
+"
+    "sim event (schedule+dispatch)" ev_words ev_rate baseline_words_per_event;
+  Printf.printf "%-32s %8.2f words/op %12.0f op/s
+" "timer re-arm" tm_words
+    tm_rate;
+  Printf.printf "%-32s %8.2f words/op %12.0f op/s (baseline %.2f)
+"
+    "pooled packet forward" pk_words pk_rate baseline_words_per_packet;
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc
+    {|{
+  "baseline": {
+    "minor_words_per_event": %.2f,
+    "minor_words_per_packet": %.2f
+  },
+  "current": {
+    "minor_words_per_event": %.2f,
+    "minor_words_per_timer_rearm": %.2f,
+    "minor_words_per_packet": %.2f,
+    "events_per_sec": %.0f,
+    "packets_per_sec": %.0f
+  },
+  "reduction": {
+    "event_words_factor": %.2f,
+    "packet_words_factor": %.2f
+  }
+}
+|}
+    baseline_words_per_event baseline_words_per_packet ev_words tm_words
+    pk_words ev_rate pk_rate
+    (baseline_words_per_event /. Float.max 1e-9 ev_words)
+    (baseline_words_per_packet /. Float.max 1e-9 pk_words);
+  close_out oc;
+  Printf.printf "wrote BENCH_engine.json
+"
+
 let () =
-  print_exhibits ();
-  run_benchmarks ()
+  if Array.exists (( = ) "--smoke") Sys.argv then datapath_report ()
+  else begin
+    print_exhibits ();
+    run_benchmarks ();
+    datapath_report ()
+  end

@@ -188,6 +188,33 @@ let extensions_cmd =
           header overhead, TCP coexistence")
     Term.(const run $ output_opts)
 
+(* ----------------------------- messaging --------------------------- *)
+
+let messaging_cmd =
+  let run dump seed duration size parallel =
+    let config =
+      { Ext_messaging.default with
+        Ext_messaging.seed;
+        duration = Engine.Time.ms duration;
+        msg_size = size;
+        parallel }
+    in
+    print_result dump (Ext_messaging.result ~config ())
+  in
+  let size =
+    Arg.(value & opt int 100_000
+         & info [ "msg-bytes" ] ~doc:"Message size in bytes.")
+  in
+  let parallel =
+    Arg.(value & opt int 4
+         & info [ "parallel" ] ~doc:"Concurrent closed-loop chains.")
+  in
+  Cmd.v
+    (Cmd.info "messaging"
+       ~doc:
+         "Drive TCP, DCTCP, UDP, proxied TCP and MTP through the unified           transport interface on identical workloads")
+    Term.(const run $ output_opts $ seed $ duration_ms 10 $ size $ parallel)
+
 (* ------------------------------ sweeps ----------------------------- *)
 
 let sweeps_cmd =
@@ -228,4 +255,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd;
-            features_cmd; extensions_cmd; sweeps_cmd; all_cmd ]))
+            features_cmd; extensions_cmd; messaging_cmd; sweeps_cmd;
+            all_cmd ]))

@@ -59,7 +59,7 @@ type ack_acc = {
   mutable acc_count : int;
   mutable acc_fb : Wire.path_fb list; (* latest packet's feedback *)
   mutable acc_template : Wire.t; (* ports/msg id for the reply *)
-  mutable acc_timer : Engine.Sim.handle option;
+  mutable acc_tm : Engine.Sim.timer;
 }
 
 type t = {
@@ -162,7 +162,7 @@ let pkt_payload t msg pkt_num =
 
 let emit_header t ~dst header =
   let pkt =
-    Wire.packet ~now:(now t) ~src:(Netsim.Node.addr t.ep_node) ~dst
+    Wire.packet t.ep_sim ~src:(Netsim.Node.addr t.ep_node) ~dst
       ~entity:t.entity header
   in
   Netsim.Node.send t.ep_node pkt
@@ -248,15 +248,16 @@ let rec pump t =
 and ensure_ticker t =
   if (not t.ticker_running) && Hashtbl.length t.tx_table > 0 then begin
     t.ticker_running <- true;
-    Engine.Sim.periodic t.ep_sim ~interval:(Engine.Time.us 100) (fun () ->
-        if Hashtbl.length t.tx_table = 0 then begin
-          t.ticker_running <- false;
-          false
-        end
-        else begin
-          check_timeouts t;
-          true
-        end)
+    ignore
+      (Engine.Sim.periodic t.ep_sim ~interval:(Engine.Time.us 100) (fun () ->
+           if Hashtbl.length t.tx_table = 0 then begin
+             t.ticker_running <- false;
+             false
+           end
+           else begin
+             check_timeouts t;
+             true
+           end))
   end
 
 and check_timeouts t =
@@ -407,11 +408,7 @@ let emit_ack t ~dst (template : Wire.t) ~sacks ~nacks ~fb =
   emit_header t ~dst ack
 
 let flush_acks t ~dst acc =
-  (match acc.acc_timer with
-  | Some h ->
-    Engine.Sim.cancel h;
-    acc.acc_timer <- None
-  | None -> ());
+  Engine.Sim.disarm acc.acc_tm;
   if acc.acc_count > 0 then begin
     emit_ack t ~dst acc.acc_template ~sacks:(List.rev acc.acc_sacks)
       ~nacks:[] ~fb:acc.acc_fb;
@@ -439,8 +436,9 @@ let send_ack ?(urgent = false) t ~dst (header : Wire.t) ~sack ~nack =
       | None ->
         let acc =
           { acc_sacks = []; acc_count = 0; acc_fb = []; acc_template = header;
-            acc_timer = None }
+            acc_tm = Engine.Sim.timer t.ep_sim ignore }
         in
+        acc.acc_tm <- Engine.Sim.timer t.ep_sim (fun () -> flush_acks t ~dst acc);
         Hashtbl.add t.ack_acc dst acc;
         acc
     in
@@ -450,12 +448,8 @@ let send_ack ?(urgent = false) t ~dst (header : Wire.t) ~sack ~nack =
     if header.Wire.path_feedback <> [] then
       acc.acc_fb <- header.Wire.path_feedback;
     if acc.acc_count >= t.ack_every then flush_acks t ~dst acc
-    else if acc.acc_timer = None then
-      acc.acc_timer <-
-        Some
-          (Engine.Sim.after t.ep_sim t.ack_delay (fun () ->
-               acc.acc_timer <- None;
-               flush_acks t ~dst acc))
+    else if not (Engine.Sim.armed acc.acc_tm) then
+      Engine.Sim.arm_after acc.acc_tm t.ack_delay
   end
 
 let deliver t rx =
@@ -535,42 +529,62 @@ let process_data t (header : Wire.t) (pkt : Netsim.Packet.t) =
 (* ------------------------------------------------------------------ *)
 (* Construction & API                                                   *)
 
-let create ?(algo = Cc.Dctcp { g = 0.0625 }) ?init_window
+let make_endpoint ?(algo = Cc.Dctcp { g = 0.0625 }) ?init_window
     ?(mtu_payload = 1440) ?(entity = 0) ?(max_msg_bytes = max_int / 4)
     ?(max_rx_messages = 1 lsl 20) ?(exclusion = true) ?(ack_every = 1)
     ?(ack_delay = Engine.Time.us 10) node =
+  { ep_node = node; ep_sim = Netsim.Node.sim node; entity;
+    mtu = mtu_payload; max_msg_bytes; max_rx_messages; exclusion;
+    path_table = Pathlet.create ?init_window ~mss:mtu_payload algo;
+    next_msg_id = 1; next_port = 30_000; tx_table = Hashtbl.create 64;
+    active = []; current = Hashtbl.create 8; rx_table = Hashtbl.create 64;
+    recent_done = Hashtbl.create 4096; recent_queue = Queue.create ();
+    bindings = Hashtbl.create 8; ack_every = max 1 ack_every; ack_delay;
+    ack_acc = Hashtbl.create 8; ticker_running = false; n_completed = 0;
+    n_delivered = 0; n_delivered_bytes = 0; n_retransmits = 0;
+    n_timeouts = 0; n_nacks = 0; n_rejected = 0; n_acks_tx = 0 }
+
+let concerns_us t (header : Wire.t) =
+  if header.Wire.is_ack then
+    List.exists
+      (fun { Wire.ref_msg; _ } -> Hashtbl.mem t.tx_table ref_msg)
+      header.Wire.sack
+    || List.exists
+         (fun { Wire.ref_msg; _ } -> Hashtbl.mem t.tx_table ref_msg)
+         header.Wire.nack
+  else Hashtbl.mem t.bindings header.Wire.dst_port
+
+let claim t pkt =
+  match pkt.Netsim.Packet.payload with
+  | Wire.Mtp header when concerns_us t header ->
+    if header.Wire.is_ack then process_ack t header pkt
+    else process_data t header pkt;
+    true
+  | _ -> false
+
+let create ?algo ?init_window ?mtu_payload ?entity ?max_msg_bytes
+    ?max_rx_messages ?exclusion ?ack_every ?ack_delay node =
   let t =
-    { ep_node = node; ep_sim = Netsim.Node.sim node; entity;
-      mtu = mtu_payload; max_msg_bytes; max_rx_messages; exclusion;
-      path_table = Pathlet.create ?init_window ~mss:mtu_payload algo;
-      next_msg_id = 1; next_port = 30_000; tx_table = Hashtbl.create 64;
-      active = []; current = Hashtbl.create 8; rx_table = Hashtbl.create 64;
-      recent_done = Hashtbl.create 4096; recent_queue = Queue.create ();
-      bindings = Hashtbl.create 8; ack_every = max 1 ack_every; ack_delay;
-      ack_acc = Hashtbl.create 8; ticker_running = false; n_completed = 0;
-      n_delivered = 0; n_delivered_bytes = 0; n_retransmits = 0;
-      n_timeouts = 0; n_nacks = 0; n_rejected = 0; n_acks_tx = 0 }
+    make_endpoint ?algo ?init_window ?mtu_payload ?entity ?max_msg_bytes
+      ?max_rx_messages ?exclusion ?ack_every ?ack_delay node
   in
   let previous = Netsim.Node.handler node in
   (* Multiple endpoints may coexist on one host: packets that name no
      port binding / outstanding message of ours fall through to the
      previously installed handler. *)
-  let concerns_us (header : Wire.t) =
-    if header.Wire.is_ack then
-      List.exists
-        (fun { Wire.ref_msg; _ } -> Hashtbl.mem t.tx_table ref_msg)
-        header.Wire.sack
-      || List.exists
-           (fun { Wire.ref_msg; _ } -> Hashtbl.mem t.tx_table ref_msg)
-           header.Wire.nack
-    else Hashtbl.mem t.bindings header.Wire.dst_port
-  in
   Netsim.Node.set_handler node (fun pkt ->
-      match pkt.Netsim.Packet.payload with
-      | Wire.Mtp header when concerns_us header ->
-        if header.Wire.is_ack then process_ack t header pkt
-        else process_data t header pkt
-      | _ -> ( match previous with Some h -> h pkt | None -> ()));
+      if not (claim t pkt) then
+        match previous with Some h -> h pkt | None -> ());
+  t
+
+let attach ?algo ?init_window ?mtu_payload ?entity ?max_msg_bytes
+    ?max_rx_messages ?exclusion ?ack_every ?ack_delay host =
+  let t =
+    make_endpoint ?algo ?init_window ?mtu_payload ?entity ?max_msg_bytes
+      ?max_rx_messages ?exclusion ?ack_every ?ack_delay
+      (Netsim.Host.node host)
+  in
+  Netsim.Host.register host ~name:"mtp" (claim t);
   t
 
 let bind t ~port callback = Hashtbl.replace t.bindings port callback
@@ -626,3 +640,47 @@ let timeouts t = t.n_timeouts
 let nacks_received t = t.n_nacks
 let rejected t = t.n_rejected
 let acks_sent t = t.n_acks_tx
+
+(* ------------------------------------------------------------------ *)
+(* Unified transport interface                                          *)
+
+module Messaging = struct
+  type nonrec t = t
+
+  let id = "mtp"
+
+  let node = node
+
+  let listen t ~port ?on_data ?on_message () =
+    bind t ~port (fun dl ->
+        (match on_data with Some f -> f dl.dl_size | None -> ());
+        match on_message with
+        | Some f ->
+          f
+            { Netsim.Transport_intf.msg_src = dl.dl_src;
+              msg_src_port = dl.dl_src_port;
+              msg_size = dl.dl_size;
+              msg_latency = dl.dl_latency }
+        | None -> ())
+
+  let send_message t ~dst ~dst_port ?(tc = 0) ?on_complete ~size () =
+    ignore (send t ~dst ~dst_port ~tc ?on_complete ~size ())
+
+  (* A closed-loop chain of paper-sized messages: MTP has no byte
+     streams, so "saturating" means the next message starts the moment
+     the previous one completes. *)
+  let stream t ~dst ~dst_port ?(tc = 0) () =
+    let chunk = 250_000 in
+    let rec chain () =
+      ignore
+        (send t ~dst ~dst_port ~tc ~on_complete:(fun _ -> chain ())
+           ~size:chunk ())
+    in
+    chain ()
+
+  let stats t =
+    { Netsim.Transport_intf.tx_messages = t.next_msg_id - 1;
+      rx_messages = t.n_delivered;
+      rx_bytes = t.n_delivered_bytes;
+      retransmits = t.n_retransmits }
+end

@@ -55,6 +55,21 @@ val create :
     10 us) elapses; NACKs and message-completing packets always flush
     immediately. *)
 
+val attach :
+  ?algo:Cc.algo ->
+  ?init_window:int ->
+  ?mtu_payload:int ->
+  ?entity:int ->
+  ?max_msg_bytes:int ->
+  ?max_rx_messages:int ->
+  ?exclusion:bool ->
+  ?ack_every:int ->
+  ?ack_delay:Engine.Time.t ->
+  Netsim.Host.t ->
+  t
+(** Like {!create}, but registers with a {!Netsim.Host} dispatcher
+    instead of chaining raw node handlers. *)
+
 val node : t -> Netsim.Node.t
 val sim : t -> Engine.Sim.t
 
@@ -111,3 +126,7 @@ val rejected : t -> int
 
 val acks_sent : t -> int
 (** Acknowledgement packets emitted (drops with coalescing). *)
+
+module Messaging : Netsim.Transport_intf.S with type t = t
+(** Drive this endpoint through the unified transport interface;
+    [stream] runs a closed-loop chain of 250 kB messages. *)

@@ -179,12 +179,12 @@ let ack ?(sack = []) ?(nack = []) ?(tc = 0) ~src_port ~dst_port ~msg_id
 let add_feedback t fb_path fb =
   { t with path_feedback = t.path_feedback @ [ { fb_path; fb } ] }
 
-let packet ~now ~src ~dst ~entity t =
+let packet sim ~src ~dst ~entity t =
   let flow_hash =
     Netsim.Packet.flow_hash_of ~src ~dst ~src_port:t.src_port
       ~dst_port:t.dst_port
   in
-  Netsim.Packet.make ~entity ~prio:t.msg_pri ~flow_hash ~payload:(Mtp t) ~now
+  Netsim.Packet.make ~entity ~prio:t.msg_pri ~flow_hash ~payload:(Mtp t) sim
     ~src ~dst
     ~size:(encoded_size t + t.pkt_len)
     ()

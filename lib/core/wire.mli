@@ -90,7 +90,7 @@ val add_feedback : t -> path_ref -> Feedback.t -> t
 (** Header with one more network-appended feedback entry. *)
 
 val packet :
-  now:Engine.Time.t ->
+  Engine.Sim.t ->
   src:Netsim.Packet.addr ->
   dst:Netsim.Packet.addr ->
   entity:int ->

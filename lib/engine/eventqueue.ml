@@ -1,74 +1,122 @@
-type 'a entry = { time : int; seq : int; value : 'a }
+(* 4-ary min-heap over parallel scalar arrays.
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+   Keys live in [times]/[seqs] (unboxed int arrays) so comparisons
+   during sift never touch the payload array and insertion allocates
+   nothing.  A 4-ary layout halves tree depth versus binary, which
+   matters because sift-down dominates pop cost.  Freed payload slots
+   are overwritten with [dummy] so the heap never keeps a popped value
+   (and whatever it captures) alive. *)
 
-let create () = { arr = [||]; len = 0 }
+type 'a t = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) ~dummy () =
+  let capacity = max 1 capacity in
+  { times = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    vals = Array.make capacity dummy;
+    len = 0;
+    dummy }
 
 let size t = t.len
 
 let is_empty t = t.len = 0
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
 let grow t =
-  let cap = max 16 (2 * Array.length t.arr) in
-  let dummy = t.arr.(0) in
-  let arr = Array.make cap dummy in
-  Array.blit t.arr 0 arr 0 t.len;
-  t.arr <- arr
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0 in
+  Array.blit t.times 0 times 0 t.len;
+  let seqs = Array.make cap 0 in
+  Array.blit t.seqs 0 seqs 0 t.len;
+  let vals = Array.make cap t.dummy in
+  Array.blit t.vals 0 vals 0 t.len;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.vals <- vals
 
 let add t ~time ~seq value =
-  let entry = { time; seq; value } in
-  if Array.length t.arr = 0 then t.arr <- Array.make 16 entry
-  else if t.len = Array.length t.arr then grow t;
-  t.arr.(t.len) <- entry;
+  if t.len = Array.length t.times then grow t;
+  (* Sift the hole up, moving entries down; write once at the end. *)
+  let i = ref t.len in
   t.len <- t.len + 1;
-  (* Sift up. *)
-  let i = ref (t.len - 1) in
-  while
-    !i > 0
-    &&
-    let parent = (!i - 1) / 2 in
-    less t.arr.(!i) t.arr.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = t.arr.(parent) in
-    t.arr.(parent) <- t.arr.(!i);
-    t.arr.(!i) <- tmp;
-    i := parent
-  done
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 4 in
+    let pt = t.times.(parent) and ps = t.seqs.(parent) in
+    if time < pt || (time = pt && seq < ps) then begin
+      t.times.(!i) <- pt;
+      t.seqs.(!i) <- ps;
+      t.vals.(!i) <- t.vals.(parent);
+      i := parent
+    end
+    else moving := false
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.vals.(!i) <- value
+
+let min_time t =
+  if t.len = 0 then invalid_arg "Eventqueue.min_time: empty";
+  t.times.(0)
+
+let pop_min t =
+  if t.len = 0 then invalid_arg "Eventqueue.pop_min: empty";
+  let top = t.vals.(0) in
+  let n = t.len - 1 in
+  t.len <- n;
+  if n = 0 then t.vals.(0) <- t.dummy
+  else begin
+    (* Move the last entry into the root hole and sift it down. *)
+    let time = t.times.(n) and seq = t.seqs.(n) and v = t.vals.(n) in
+    t.vals.(n) <- t.dummy;
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let base = (4 * !i) + 1 in
+      if base >= n then moving := false
+      else begin
+        let best = ref base in
+        let bt = ref t.times.(base) and bs = ref t.seqs.(base) in
+        let last = min (base + 3) (n - 1) in
+        for c = base + 1 to last do
+          let ct = t.times.(c) in
+          if ct < !bt || (ct = !bt && t.seqs.(c) < !bs) then begin
+            best := c;
+            bt := ct;
+            bs := t.seqs.(c)
+          end
+        done;
+        if !bt < time || (!bt = time && !bs < seq) then begin
+          t.times.(!i) <- !bt;
+          t.seqs.(!i) <- !bs;
+          t.vals.(!i) <- t.vals.(!best);
+          i := !best
+        end
+        else moving := false
+      end
+    done;
+    t.times.(!i) <- time;
+    t.seqs.(!i) <- seq;
+    t.vals.(!i) <- v
+  end;
+  top
 
 let peek t =
-  if t.len = 0 then None
-  else
-    let e = t.arr.(0) in
-    Some (e.time, e.seq, e.value)
+  if t.len = 0 then None else Some (t.times.(0), t.seqs.(0), t.vals.(0))
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.arr.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.arr.(0) <- t.arr.(t.len);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.len && less t.arr.(l) t.arr.(!smallest) then smallest := l;
-        if r < t.len && less t.arr.(r) t.arr.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = t.arr.(!smallest) in
-          t.arr.(!smallest) <- t.arr.(!i);
-          t.arr.(!i) <- tmp;
-          i := !smallest
-        end
-      done
-    end;
-    Some (top.time, top.seq, top.value)
+    let time = t.times.(0) and seq = t.seqs.(0) in
+    let v = pop_min t in
+    Some (time, seq, v)
   end
 
-let clear t = t.len <- 0
+let clear t =
+  Array.fill t.vals 0 t.len t.dummy;
+  t.len <- 0

@@ -3,12 +3,18 @@
     A [Sim.t] holds the virtual clock and the pending-event heap.
     Devices schedule closures at absolute or relative times; [run]
     drains the heap in time order.  Events scheduled for the same
-    instant fire in the order they were scheduled. *)
+    instant fire in the order they were scheduled.
+
+    Event slots are pooled: scheduling allocates nothing beyond the
+    user's closure, and a {!timer} re-arms without allocating at
+    all. *)
 
 type t
 
 type handle
-(** A scheduled event, usable for cancellation. *)
+(** A scheduled event, usable for cancellation.  Handles are
+    generation-checked: cancelling after the event fired (or after its
+    slot was reused) is a safe no-op. *)
 
 val create : ?seed:int -> unit -> t
 (** Fresh simulator.  [seed] (default 42) seeds the root {!Rng.t}. *)
@@ -20,21 +26,56 @@ val rng : t -> Rng.t
 (** The simulator's root random stream.  Components that need private
     streams should {!Rng.split} it at setup time. *)
 
+val fresh_uid : t -> int
+(** Next value of this simulator's uid counter (1, 2, 3, ...) — used
+    for packet uids so concurrent sims stay independent and
+    deterministic. *)
+
 val schedule : t -> at:Time.t -> (unit -> unit) -> handle
 (** Run a closure at absolute time [at].  [at] must not be in the
-    past. *)
+    past (a single int comparison on the fast path; the error string
+    is only built on failure). *)
 
 val after : t -> Time.t -> (unit -> unit) -> handle
 (** [after t dt f] runs [f] at [now t + dt]. *)
 
-val cancel : handle -> unit
+val cancel : t -> handle -> unit
 (** Prevent a pending event from firing.  Cancelling a fired or
     already-cancelled event is a no-op. *)
 
-val periodic : t -> ?start:Time.t -> interval:Time.t -> (unit -> bool) -> unit
+(** {1 Re-armable timers} *)
+
+type timer
+(** A cancellable, re-armable one-shot timer.  The underlying closure
+    is built once at {!timer} creation, so re-arming allocates
+    nothing — the tool for protocol timers (RTO, persist, delayed-ack)
+    that arm and cancel on every packet. *)
+
+val timer : t -> (unit -> unit) -> timer
+(** [timer t f] makes a disarmed timer that runs [f] when it fires.
+    The timer is automatically disarmed just before [f] runs, so [f]
+    may re-arm it. *)
+
+val arm : timer -> at:Time.t -> unit
+(** Schedule (or reschedule) the timer for absolute time [at].  Any
+    previously pending firing is cancelled. *)
+
+val arm_after : timer -> Time.t -> unit
+(** Relative-time {!arm}. *)
+
+val disarm : timer -> unit
+(** Cancel the pending firing, if any. *)
+
+val armed : timer -> bool
+(** Whether a firing is pending. *)
+
+val periodic : t -> ?start:Time.t -> interval:Time.t -> (unit -> bool) -> timer
 (** [periodic t ~interval f] runs [f] every [interval] starting at
-    [start] (default one interval from now) until [f] returns
-    [false]. *)
+    [start] (default one interval from now) until [f] returns [false].
+    The returned timer can be {!disarm}ed to stop the recurrence
+    mid-run. *)
+
+(** {1 Execution} *)
 
 val step : t -> bool
 (** Execute the next pending event.  Returns [false] if the heap was

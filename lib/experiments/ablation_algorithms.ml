@@ -44,7 +44,7 @@ let run_variant ~rate ~duration ~seed (name, algo, mode) =
   done;
   let queue_depth = Stats.Summary.create () in
   let max_queue = ref 0 in
-  Engine.Sim.periodic sim ~interval:(Engine.Time.us 10) (fun () ->
+  ignore @@ Engine.Sim.periodic sim ~interval:(Engine.Time.us 10) (fun () ->
       let d = qd.Netsim.Qdisc.pkt_length () in
       Stats.Summary.add queue_depth (float_of_int d);
       if d > !max_queue then max_queue := d;

@@ -35,9 +35,9 @@ let run_variant ~duration ~seed ~exclusion =
   let interferer_gap =
     Engine.Time.tx_time ~bytes:1500 ~rate:(Engine.Time.mbps 8_500)
   in
-  Engine.Sim.periodic sim ~interval:interferer_gap (fun () ->
+  ignore @@ Engine.Sim.periodic sim ~interval:interferer_gap (fun () ->
       Netsim.Link.send tp.Netsim.Topology.tp_link_a
-        (Netsim.Packet.make ~now:(Engine.Sim.now sim)
+        (Netsim.Packet.make sim
            ~src:(Netsim.Node.addr tp.Netsim.Topology.tp_src)
            ~dst:(Netsim.Node.addr tp.Netsim.Topology.tp_dst)
            ~size:1500 ());

@@ -14,32 +14,34 @@ let run ?(rate = Engine.Time.gbps 10) ?(duration = Engine.Time.ms 20)
      (the MTP stamper reports the IP CE bit as pathlet feedback). *)
   Mtp.Mtp_switch.stamp sim db.Netsim.Topology.db_bottleneck ~path_id:1
     ~mode:Mtp.Mtp_switch.Ce_echo;
-  let cc = Transport.Tcp.Dctcp { g = 0.0625 } in
   let tcp_meter = Stats.Meter.create ~name:"tcp" sim ~interval:(Engine.Time.us 100) () in
   let mtp_meter = Stats.Meter.create ~name:"mtp" sim ~interval:(Engine.Time.us 100) () in
   let tcp_client =
-    Transport.Tcp.install ~cc ~snd_buf:500_000 db.Netsim.Topology.db_senders.(0)
+    Transport.Dctcp.attach ~snd_buf:500_000
+      (Netsim.Host.create db.Netsim.Topology.db_senders.(0))
   in
-  let tcp_server = Transport.Tcp.install ~cc db.Netsim.Topology.db_receivers.(0) in
-  ignore (Transport.Flowgen.sink ~meter:tcp_meter tcp_server ~port:80);
-  ignore
-    (Transport.Flowgen.persistent tcp_client
-       ~dst:(Netsim.Node.addr db.Netsim.Topology.db_receivers.(0))
-       ~dst_port:80 ());
-  let ea = Mtp.Endpoint.create db.Netsim.Topology.db_senders.(1) in
-  let eb = Mtp.Endpoint.create db.Netsim.Topology.db_receivers.(1) in
-  Mtp.Endpoint.bind eb ~port:80 (fun d ->
-      Stats.Meter.count_bytes mtp_meter d.Mtp.Endpoint.dl_size);
-  let rec chain () =
-    ignore
-      (Mtp.Endpoint.send ea
-         ~dst:(Netsim.Node.addr db.Netsim.Topology.db_receivers.(1))
-         ~dst_port:80
-         ~on_complete:(fun _ -> chain ())
-         ~size:250_000 ())
+  let tcp_server =
+    Transport.Dctcp.attach
+      (Netsim.Host.create db.Netsim.Topology.db_receivers.(0))
   in
+  Transport.Dctcp.Messaging.listen tcp_server ~port:80
+    ~on_data:(Stats.Meter.count_bytes tcp_meter) ();
+  Transport.Dctcp.Messaging.stream tcp_client
+    ~dst:(Netsim.Node.addr db.Netsim.Topology.db_receivers.(0))
+    ~dst_port:80 ();
+  let ea =
+    Mtp.Endpoint.attach (Netsim.Host.create db.Netsim.Topology.db_senders.(1))
+  in
+  let eb =
+    Mtp.Endpoint.attach
+      (Netsim.Host.create db.Netsim.Topology.db_receivers.(1))
+  in
+  Mtp.Endpoint.Messaging.listen eb ~port:80
+    ~on_data:(Stats.Meter.count_bytes mtp_meter) ();
   for _ = 1 to 2 do
-    chain ()
+    Mtp.Endpoint.Messaging.stream ea
+      ~dst:(Netsim.Node.addr db.Netsim.Topology.db_receivers.(1))
+      ~dst_port:80 ()
   done;
   Engine.Sim.run ~until:duration sim;
   Stats.Meter.stop tcp_meter;

@@ -65,7 +65,7 @@ let run_variant cfg ~limited =
       ~name:(if limited then "limited_buffer" else "unlimited_buffer")
       ()
   in
-  Engine.Sim.periodic sim ~interval:cfg.sample_interval (fun () ->
+  ignore @@ Engine.Sim.periodic sim ~interval:cfg.sample_interval (fun () ->
       Stats.Timeseries.add buffer ~time:(Engine.Sim.now sim)
         (float_of_int (Transport.Proxy.occupancy proxy));
       Engine.Sim.now sim < cfg.duration);

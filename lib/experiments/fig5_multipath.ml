@@ -41,22 +41,23 @@ let run_dctcp cfg =
       ~mark_threshold:cfg.ecn_threshold ()
   in
   let sim, tp, meter = build cfg ~qdisc_a:(qdisc ()) ~qdisc_b:(qdisc ()) in
-  let cc = Transport.Tcp.Dctcp { g = 0.0625 } in
   (* min_rto of 1 ms: with a single RTT estimator, path flips make the
      50 us datacenter floor fire spurious timeouts on the slow path's
      inflated RTT and collapse the flow entirely; a conservative floor
      is the kindest configuration for the DCTCP baseline.  (MTP needs
      no such crutch — its RTT state is per pathlet.) *)
   let client =
-    Transport.Tcp.install ~cc ~snd_buf:400_000 ~min_rto:(Engine.Time.ms 1)
-      tp.Netsim.Topology.tp_src
+    Transport.Dctcp.attach ~snd_buf:400_000 ~min_rto:(Engine.Time.ms 1)
+      (Netsim.Host.create tp.Netsim.Topology.tp_src)
   in
-  let server = Transport.Tcp.install ~cc tp.Netsim.Topology.tp_dst in
-  ignore (Transport.Flowgen.sink ~meter server ~port:80);
-  ignore
-    (Transport.Flowgen.persistent client
-       ~dst:(Netsim.Node.addr tp.Netsim.Topology.tp_dst)
-       ~dst_port:80 ());
+  let server =
+    Transport.Dctcp.attach (Netsim.Host.create tp.Netsim.Topology.tp_dst)
+  in
+  Transport.Dctcp.Messaging.listen server ~port:80
+    ~on_data:(Stats.Meter.count_bytes meter) ();
+  Transport.Dctcp.Messaging.stream client
+    ~dst:(Netsim.Node.addr tp.Netsim.Topology.tp_dst)
+    ~dst_port:80 ();
   Engine.Sim.run ~until:cfg.duration sim;
   Stats.Meter.stop meter;
   Stats.Meter.series meter
@@ -70,22 +71,16 @@ let run_mtp cfg =
     ~mode:(Mtp.Mtp_switch.Ecn_mark cfg.ecn_threshold);
   Mtp.Mtp_switch.stamp sim tp.Netsim.Topology.tp_link_b ~path_id:2
     ~mode:(Mtp.Mtp_switch.Ecn_mark cfg.ecn_threshold);
-  let ea = Mtp.Endpoint.create tp.Netsim.Topology.tp_src in
-  let eb = Mtp.Endpoint.create tp.Netsim.Topology.tp_dst in
-  Mtp.Endpoint.bind eb ~port:80 (fun d ->
-      Stats.Meter.count_bytes meter d.Mtp.Endpoint.dl_size);
+  let ea = Mtp.Endpoint.attach (Netsim.Host.create tp.Netsim.Topology.tp_src) in
+  let eb = Mtp.Endpoint.attach (Netsim.Host.create tp.Netsim.Topology.tp_dst) in
+  Mtp.Endpoint.Messaging.listen eb ~port:80
+    ~on_data:(Stats.Meter.count_bytes meter) ();
   (* A continuously backlogged message stream (the long-lasting flow):
      several chains so completion gaps never idle the sender. *)
-  let rec chain () =
-    ignore
-      (Mtp.Endpoint.send ea
-         ~dst:(Netsim.Node.addr tp.Netsim.Topology.tp_dst)
-         ~dst_port:80
-         ~on_complete:(fun _ -> chain ())
-         ~size:250_000 ())
-  in
   for _ = 1 to 4 do
-    chain ()
+    Mtp.Endpoint.Messaging.stream ea
+      ~dst:(Netsim.Node.addr tp.Netsim.Topology.tp_dst)
+      ~dst_port:80 ()
   done;
   Engine.Sim.run ~until:cfg.duration sim;
   Stats.Meter.stop meter;

@@ -99,18 +99,20 @@ let flows_per_source = 4
 let run_dctcp cfg ~qdisc =
   let sim, t1s, t2s, t1r, t2r, _ = build cfg ~qdisc in
   let m1, m2 = meters cfg sim in
-  let cc = Transport.Tcp.Dctcp { g = 0.0625 } in
   (* One stack per receiver host, one sink port per source. *)
-  let srv1 = Transport.Tcp.install ~cc t1r in
-  let srv2 = Transport.Tcp.install ~cc t2r in
+  let srv1 = Transport.Dctcp.attach (Netsim.Host.create t1r) in
+  let srv2 = Transport.Dctcp.attach (Netsim.Host.create t2r) in
   let start ~entity ~meter ~server sender receiver =
-    let client = Transport.Tcp.install ~cc ~snd_buf:500_000 ~entity sender in
+    let client =
+      Transport.Dctcp.attach ~snd_buf:500_000 ~entity
+        (Netsim.Host.create sender)
+    in
     let port = 80 + Netsim.Node.addr sender in
-    ignore (Transport.Flowgen.sink ~meter server ~port);
+    Transport.Dctcp.Messaging.listen server ~port
+      ~on_data:(Stats.Meter.count_bytes meter) ();
     for _ = 1 to flows_per_source do
-      ignore
-        (Transport.Flowgen.persistent client
-           ~dst:(Netsim.Node.addr receiver) ~dst_port:port ())
+      Transport.Dctcp.Messaging.stream client
+        ~dst:(Netsim.Node.addr receiver) ~dst_port:port ()
     done
   in
   start ~entity:1 ~meter:m1 ~server:srv1 t1s t1r;
@@ -130,22 +132,16 @@ let run_mtp cfg =
      pathlet feedback. *)
   Mtp.Mtp_switch.stamp sim bottleneck ~path_id:1 ~mode:Mtp.Mtp_switch.Ce_echo;
   let m1, m2 = meters cfg sim in
-  let e1r = Mtp.Endpoint.create t1r in
-  let e2r = Mtp.Endpoint.create t2r in
+  let e1r = Mtp.Endpoint.attach (Netsim.Host.create t1r) in
+  let e2r = Mtp.Endpoint.attach (Netsim.Host.create t2r) in
   let start ~entity ~meter ~server_ep sender receiver =
-    let ea = Mtp.Endpoint.create ~entity sender in
+    let ea = Mtp.Endpoint.attach ~entity (Netsim.Host.create sender) in
     let port = 80 + Netsim.Node.addr sender in
-    Mtp.Endpoint.bind server_ep ~port (fun d ->
-        Stats.Meter.count_bytes meter d.Mtp.Endpoint.dl_size);
-    let rec chain () =
-      ignore
-        (Mtp.Endpoint.send ea ~dst:(Netsim.Node.addr receiver) ~dst_port:port
-           ~tc:entity
-           ~on_complete:(fun _ -> chain ())
-           ~size:250_000 ())
-    in
+    Mtp.Endpoint.Messaging.listen server_ep ~port
+      ~on_data:(Stats.Meter.count_bytes meter) ();
     for _ = 1 to flows_per_source do
-      chain ()
+      Mtp.Endpoint.Messaging.stream ea ~dst:(Netsim.Node.addr receiver)
+        ~dst_port:port ~tc:entity ()
     done
   in
   start ~entity:1 ~meter:m1 ~server_ep:e1r t1s t1r;

@@ -27,7 +27,7 @@ let ack_worker t (h : Mtp.Wire.t) ~worker =
   (* Route the ACK back through normal forwarding. *)
   Netsim.Switch.receive t.sw
     (Mtp.Wire.packet
-       ~now:(Engine.Sim.now (Netsim.Switch.sim t.sw))
+       (Netsim.Switch.sim t.sw)
        ~src:t.ps ~dst:worker ~entity:0 ack)
 
 let inject_aggregated t (h : Mtp.Wire.t) ~round =
@@ -49,7 +49,7 @@ let inject_aggregated t (h : Mtp.Wire.t) ~round =
   t.n_injected <- t.n_injected + 1;
   Netsim.Switch.inject t.sw ~port:t.ps_switch_port
     (Mtp.Wire.packet
-       ~now:(Engine.Sim.now (Netsim.Switch.sim t.sw))
+       (Netsim.Switch.sim t.sw)
        ~src:t.ps (* the PS sees a fabric-originated message *)
        ~dst:t.ps ~entity:0 header)
 

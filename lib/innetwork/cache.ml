@@ -35,7 +35,7 @@ let inject_reply t ~client ~client_app_port ~key ~size =
   let msg_id = (1 lsl 40) + t.next_msg in
   t.next_msg <- t.next_msg + 1;
   let npkts = (size + t.mtu - 1) / t.mtu in
-  let now = Engine.Sim.now (Netsim.Switch.sim t.sw) in
+  let sim = Netsim.Switch.sim t.sw in
   let port = t.client_port_of client in
   for pkt_num = 0 to npkts - 1 do
     let pkt_len =
@@ -48,7 +48,7 @@ let inject_reply t ~client ~client_app_port ~key ~size =
         ~pkt_len ()
     in
     let pkt =
-      Mtp.Wire.packet ~now ~src:t.server ~dst:client ~entity:0 header
+      Mtp.Wire.packet sim ~src:t.server ~dst:client ~entity:0 header
     in
     Netsim.Switch.inject t.sw ~port pkt
   done
@@ -87,7 +87,7 @@ let install sw ~server ~server_port ~client_port_of ?(capacity = 64)
             Netsim.Switch.inject t.sw
               ~port:(t.client_port_of pkt.Netsim.Packet.src)
               (Mtp.Wire.packet
-                 ~now:(Engine.Sim.now (Netsim.Switch.sim t.sw))
+                 (Netsim.Switch.sim t.sw)
                  ~src:server ~dst:pkt.Netsim.Packet.src ~entity:0 ack);
             inject_reply t ~client:pkt.Netsim.Packet.src
               ~client_app_port:h.Mtp.Wire.src_port ~key ~size;

@@ -1,0 +1,36 @@
+(* A host: a node plus a registry of transport stacks and a shared
+   packet pool.  The host owns the node's packet handler and offers
+   each inbound packet to the registered stacks in registration order
+   — replacing the ad-hoc handler chaining each stack used to do. *)
+
+type entry = { stk_name : string; claim : Packet.t -> bool }
+
+type t = {
+  h_node : Node.t;
+  h_pool : Packet.pool;
+  mutable h_stacks : entry list;
+  mutable h_unclaimed : int;
+}
+
+let create ?pool node =
+  let h_pool =
+    match pool with Some p -> p | None -> Packet.pool (Node.sim node)
+  in
+  let t = { h_node = node; h_pool; h_stacks = []; h_unclaimed = 0 } in
+  Node.set_handler node (fun pkt ->
+      let rec offer = function
+        | [] -> t.h_unclaimed <- t.h_unclaimed + 1
+        | e :: rest -> if not (e.claim pkt) then offer rest
+      in
+      offer t.h_stacks);
+  t
+
+let register t ~name claim =
+  t.h_stacks <- t.h_stacks @ [ { stk_name = name; claim } ]
+
+let node t = t.h_node
+let sim t = Node.sim t.h_node
+let addr t = Node.addr t.h_node
+let pool t = t.h_pool
+let unclaimed t = t.h_unclaimed
+let stacks t = List.map (fun e -> e.stk_name) t.h_stacks

@@ -1,0 +1,24 @@
+(** A host: node + registered transport stacks + shared packet pool.
+
+    [create] takes over the node's packet handler; transports attach
+    via {!register}, providing a claim function that inspects a packet
+    and returns whether it handled it.  Stacks are offered packets in
+    registration order, mirroring the handler chaining they replace. *)
+
+type t
+
+val create : ?pool:Packet.pool -> Node.t -> t
+(** [pool] defaults to a fresh pool; pass a shared one so packets
+    released by one host are recycled by another. *)
+
+val register : t -> name:string -> (Packet.t -> bool) -> unit
+
+val node : t -> Node.t
+val sim : t -> Engine.Sim.t
+val addr : t -> Packet.addr
+val pool : t -> Packet.pool
+
+val unclaimed : t -> int
+(** Inbound packets no registered stack claimed. *)
+
+val stacks : t -> string list

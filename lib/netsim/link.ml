@@ -1,3 +1,12 @@
+(* A point-to-point link: qdisc + serialisation + propagation delay.
+
+   The transmit / deliver closures are built once at [create]; packets
+   in flight sit in a ring ([cur] is the one currently serialising).
+   Deliveries are FIFO because transmit completions are monotonic in
+   time and the propagation delay is constant, so the shared deliver
+   closure always pops the oldest in-flight packet — forwarding a
+   packet allocates nothing in the link itself. *)
+
 type t = {
   sim : Engine.Sim.t;
   link_name : string;
@@ -5,40 +14,64 @@ type t = {
   link_delay : Engine.Time.t;
   mutable q : Qdisc.t;
   mutable dst : (Packet.t -> unit) option;
-  mutable taps : (Engine.Time.t -> Packet.t -> unit) list; (* reverse order *)
+  mutable taps : (Engine.Time.t -> Packet.t -> unit) list; (* forward order *)
   mutable transmitting : bool;
   mutable sent_bytes : int;
+  mutable cur : Packet.t;
+  flight : Pktring.t;
+  pool : Packet.pool option;
+  mutable on_tx_done : unit -> unit;
+  mutable on_deliver : unit -> unit;
 }
 
-let create sim ~name ~rate ~delay ?qdisc () =
-  let q = match qdisc with Some q -> q | None -> Qdisc.fifo ~cap_pkts:1000 () in
-  { sim; link_name = name; link_rate = rate; link_delay = delay; q;
-    dst = None; taps = []; transmitting = false; sent_bytes = 0 }
-
-let set_dst t handler = t.dst <- Some handler
-
-let add_tap t f = t.taps <- f :: t.taps
-
 let deliver t p =
-  List.iter (fun f -> f (Engine.Sim.now t.sim) p) (List.rev t.taps);
+  List.iter (fun f -> f (Engine.Sim.now t.sim) p) t.taps;
   match t.dst with
   | Some handler -> handler p
   | None -> failwith ("Link " ^ t.link_name ^ ": destination not wired")
 
 let rec transmit_next t =
   match t.q.Qdisc.dequeue () with
-  | None -> t.transmitting <- false
+  | None ->
+    t.transmitting <- false;
+    t.cur <- Packet.none
   | Some p ->
     t.transmitting <- true;
+    t.cur <- p;
     let tx = Engine.Time.tx_time ~bytes:p.Packet.size ~rate:t.link_rate in
-    ignore
-      (Engine.Sim.after t.sim tx (fun () ->
-           t.sent_bytes <- t.sent_bytes + p.Packet.size;
-           ignore (Engine.Sim.after t.sim t.link_delay (fun () -> deliver t p));
-           transmit_next t))
+    ignore (Engine.Sim.after t.sim tx t.on_tx_done)
+
+and tx_done t =
+  let p = t.cur in
+  t.cur <- Packet.none;
+  t.sent_bytes <- t.sent_bytes + p.Packet.size;
+  Pktring.push t.flight p;
+  ignore (Engine.Sim.after t.sim t.link_delay t.on_deliver);
+  transmit_next t
+
+let create sim ~name ~rate ~delay ?qdisc ?pool () =
+  let q = match qdisc with Some q -> q | None -> Qdisc.fifo ~cap_pkts:1000 () in
+  let t =
+    { sim; link_name = name; link_rate = rate; link_delay = delay; q;
+      dst = None; taps = []; transmitting = false; sent_bytes = 0;
+      cur = Packet.none; flight = Pktring.create (); pool;
+      on_tx_done = ignore; on_deliver = ignore }
+  in
+  t.on_tx_done <- (fun () -> tx_done t);
+  t.on_deliver <- (fun () -> deliver t (Pktring.pop t.flight));
+  t
+
+let set_dst t handler = t.dst <- Some handler
+
+let add_tap t f = t.taps <- t.taps @ [ f ]
 
 let send t p =
-  if t.q.Qdisc.enqueue p && not t.transmitting then transmit_next t
+  if t.q.Qdisc.enqueue p then begin
+    if not t.transmitting then transmit_next t
+  end
+  else
+    (* Tail drop: with a pool the dropped packet goes straight back. *)
+    match t.pool with Some pool -> Packet.release pool p | None -> ()
 
 let qdisc t = t.q
 

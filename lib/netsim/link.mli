@@ -16,10 +16,14 @@ val create :
   rate:Engine.Time.rate ->
   delay:Engine.Time.t ->
   ?qdisc:Qdisc.t ->
+  ?pool:Packet.pool ->
   unit ->
   t
 (** [qdisc] defaults to a 1000-packet drop-tail FIFO.  The destination
-    must be wired with {!set_dst} before the first {!send}. *)
+    must be wired with {!set_dst} before the first {!send}.  With
+    [pool], tail-dropped packets are released back to it — only safe
+    when no other component retains references to in-flight
+    packets. *)
 
 val set_dst : t -> (Packet.t -> unit) -> unit
 

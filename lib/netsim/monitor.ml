@@ -3,26 +3,30 @@ let keep_sampling sim until =
 
 let queue_depth sim qdisc ~interval ?(name = "queue_bytes") ?until () =
   let series = Stats.Timeseries.create ~name () in
-  Engine.Sim.periodic sim ~interval (fun () ->
-      if keep_sampling sim until then begin
-        Stats.Timeseries.add series ~time:(Engine.Sim.now sim)
-          (float_of_int (qdisc.Qdisc.byte_length ()));
-        true
-      end
-      else false);
+  ignore
+    (Engine.Sim.periodic sim ~interval (fun () ->
+         if keep_sampling sim until then begin
+           Stats.Timeseries.add series ~time:(Engine.Sim.now sim)
+             (float_of_int (qdisc.Qdisc.byte_length ()));
+           true
+         end
+         else false));
   series
 
 let link_throughput sim link ~interval ?name ?until () =
   let name = match name with Some n -> n | None -> Link.name link in
   let series = Stats.Timeseries.create ~name () in
   let last = ref (Link.bytes_sent link) in
-  Engine.Sim.periodic sim ~interval (fun () ->
-      if keep_sampling sim until then begin
-        let sent = Link.bytes_sent link in
-        let gbps = float_of_int ((sent - !last) * 8) /. float_of_int interval in
-        last := sent;
-        Stats.Timeseries.add series ~time:(Engine.Sim.now sim) gbps;
-        true
-      end
-      else false);
+  ignore
+    (Engine.Sim.periodic sim ~interval (fun () ->
+         if keep_sampling sim until then begin
+           let sent = Link.bytes_sent link in
+           let gbps =
+             float_of_int ((sent - !last) * 8) /. float_of_int interval
+           in
+           last := sent;
+           Stats.Timeseries.add series ~time:(Engine.Sim.now sim) gbps;
+           true
+         end
+         else false));
   series

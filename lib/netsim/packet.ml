@@ -4,28 +4,96 @@ type proto = ..
 
 type proto += Raw
 
+(* Every field is mutable so pooled packets can be re-initialised in
+   place; code outside this module treats uid/src/dst/... as
+   immutable. *)
 type t = {
-  uid : int;
-  src : addr;
-  dst : addr;
+  mutable uid : int;
+  mutable src : addr;
+  mutable dst : addr;
   mutable size : int;
   mutable ecn_ce : bool;
   mutable trimmed : bool;
-  entity : int;
-  prio : int;
-  flow_hash : int;
-  created_at : Engine.Time.t;
+  mutable entity : int;
+  mutable prio : int;
+  mutable flow_hash : int;
+  mutable created_at : Engine.Time.t;
   mutable payload : proto;
 }
 
-let next_uid = ref 0
+let none =
+  { uid = -1; src = -1; dst = -1; size = 0; ecn_ce = false; trimmed = false;
+    entity = 0; prio = 0; flow_hash = 0; created_at = 0; payload = Raw }
 
-let make ?(entity = 0) ?(prio = 0) ?(flow_hash = 0) ?(payload = Raw) ~now ~src
+let make ?(entity = 0) ?(prio = 0) ?(flow_hash = 0) ?(payload = Raw) sim ~src
     ~dst ~size () =
   if size <= 0 then invalid_arg "Packet.make: size must be positive";
-  incr next_uid;
-  { uid = !next_uid; src; dst; size; ecn_ce = false; trimmed = false;
-    entity; prio; flow_hash; created_at = now; payload }
+  { uid = Engine.Sim.fresh_uid sim; src; dst; size; ecn_ce = false;
+    trimmed = false; entity; prio; flow_hash;
+    created_at = Engine.Sim.now sim; payload }
+
+(* Free-list pool: [release] parks a packet, [recycle] re-initialises
+   a parked one (or falls back to a fresh record).  Steady-state
+   forwarding through a pool allocates nothing. *)
+
+type pool = {
+  pool_sim : Engine.Sim.t;
+  mutable free : t array;
+  mutable free_len : int;
+  mutable fresh : int;
+  mutable reused : int;
+}
+
+let pool ?(capacity = 64) sim =
+  { pool_sim = sim;
+    free = Array.make (max 1 capacity) none;
+    free_len = 0;
+    fresh = 0;
+    reused = 0 }
+
+let release p pkt =
+  if pkt != none then begin
+    (* Drop the payload so a parked packet retains no protocol state. *)
+    pkt.payload <- Raw;
+    if p.free_len = Array.length p.free then begin
+      let free = Array.make (2 * p.free_len) none in
+      Array.blit p.free 0 free 0 p.free_len;
+      p.free <- free
+    end;
+    p.free.(p.free_len) <- pkt;
+    p.free_len <- p.free_len + 1
+  end
+
+let recycle ?(entity = 0) ?(prio = 0) ?(flow_hash = 0) ?(payload = Raw) p ~src
+    ~dst ~size () =
+  if size <= 0 then invalid_arg "Packet.make: size must be positive";
+  if p.free_len = 0 then begin
+    p.fresh <- p.fresh + 1;
+    make ~entity ~prio ~flow_hash ~payload p.pool_sim ~src ~dst ~size ()
+  end
+  else begin
+    let n = p.free_len - 1 in
+    p.free_len <- n;
+    let pkt = p.free.(n) in
+    p.free.(n) <- none;
+    p.reused <- p.reused + 1;
+    pkt.uid <- Engine.Sim.fresh_uid p.pool_sim;
+    pkt.src <- src;
+    pkt.dst <- dst;
+    pkt.size <- size;
+    pkt.ecn_ce <- false;
+    pkt.trimmed <- false;
+    pkt.entity <- entity;
+    pkt.prio <- prio;
+    pkt.flow_hash <- flow_hash;
+    pkt.created_at <- Engine.Sim.now p.pool_sim;
+    pkt.payload <- payload;
+    pkt
+  end
+
+let pool_free p = p.free_len
+
+let pool_stats p = (p.fresh, p.reused)
 
 (* FNV-1a over the four tuple components: stable across runs, well
    spread in the low bits used for ECMP modulo. *)

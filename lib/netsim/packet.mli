@@ -3,7 +3,13 @@
     A packet carries bookkeeping common to every protocol (addresses,
     wire size, ECN/trim bits, entity tag) plus a protocol payload.
     The payload type is an extensible variant so each transport library
-    adds its own header type without [netsim] depending on it. *)
+    adds its own header type without [netsim] depending on it.
+
+    Packets can be pooled ({!pool}/{!release}/{!recycle}) so
+    steady-state forwarding allocates nothing; to make that possible
+    every field is mutable, but only pool operations may re-initialise
+    a packet — everything else must treat [uid], [src], [dst],
+    [entity], [prio], [flow_hash] and [created_at] as immutable. *)
 
 type addr = int
 (** Host/endpoint address.  Allocated by {!Topology}. *)
@@ -15,35 +21,70 @@ type proto += Raw
 (** Opaque payload with no protocol header. *)
 
 type t = {
-  uid : int;  (** Unique per packet; retained across forwarding. *)
-  src : addr;
-  dst : addr;
+  mutable uid : int;  (** Unique per packet; retained across forwarding. *)
+  mutable src : addr;
+  mutable dst : addr;
   mutable size : int;
       (** Total wire size in bytes (headers + payload).  Mutable so
           in-network offloads can mutate data (compression, trimming). *)
   mutable ecn_ce : bool;  (** Congestion Experienced mark. *)
   mutable trimmed : bool;  (** Payload removed by an NDP-style qdisc. *)
-  entity : int;
+  mutable entity : int;
       (** Provenance tag (tenant / traffic class) used by per-entity
           policies; [0] when unused. *)
-  prio : int;  (** Scheduling priority; lower is more urgent. *)
-  flow_hash : int;  (** Flow identifier hash for ECMP-style choices. *)
-  created_at : Engine.Time.t;
+  mutable prio : int;  (** Scheduling priority; lower is more urgent. *)
+  mutable flow_hash : int;  (** Flow identifier hash for ECMP-style choices. *)
+  mutable created_at : Engine.Time.t;
   mutable payload : proto;
 }
+
+val none : t
+(** Sentinel used to fill empty pool/ring slots.  Never send it. *)
 
 val make :
   ?entity:int ->
   ?prio:int ->
   ?flow_hash:int ->
   ?payload:proto ->
-  now:Engine.Time.t ->
+  Engine.Sim.t ->
   src:addr ->
   dst:addr ->
   size:int ->
   unit ->
   t
-(** Fresh packet with a new [uid].  [size] must be positive. *)
+(** Fresh packet stamped with the sim's clock and a new per-sim
+    [uid].  [size] must be positive. *)
+
+(** {1 Pooling} *)
+
+type pool
+(** A free-list of released packets belonging to one simulator. *)
+
+val pool : ?capacity:int -> Engine.Sim.t -> pool
+
+val release : pool -> t -> unit
+(** Park a packet for reuse.  The caller must not touch it afterwards.
+    Releasing {!none} is a no-op. *)
+
+val recycle :
+  ?entity:int ->
+  ?prio:int ->
+  ?flow_hash:int ->
+  ?payload:proto ->
+  pool ->
+  src:addr ->
+  dst:addr ->
+  size:int ->
+  unit ->
+  t
+(** Like {!make} but re-initialises a released packet when one is
+    available (fresh [uid] and timestamp included). *)
+
+val pool_free : pool -> int
+(** Packets currently parked. *)
+
+val pool_stats : pool -> int * int
+(** [(fresh, reused)] allocation counters for bench reporting. *)
 
 val flow_hash_of : src:addr -> dst:addr -> src_port:int -> dst_port:int -> int
 (** Deterministic 5-tuple-style hash for ECMP. *)

@@ -9,29 +9,32 @@ type t = {
   max_bytes_seen : unit -> int;
 }
 
-(* A byte-counting FIFO used as the building block of every policy. *)
+(* A byte-counting FIFO used as the building block of every policy.
+   Backed by a packet ring so enqueue/dequeue allocate nothing (the
+   [Queue.t] it replaces allocated a cell per push). *)
 module F = struct
   type fifo = {
-    q : Packet.t Queue.t;
+    ring : Pktring.t;
     mutable bytes : int;
     mutable max_bytes : int;
   }
 
-  let create () = { q = Queue.create (); bytes = 0; max_bytes = 0 }
+  let create () = { ring = Pktring.create (); bytes = 0; max_bytes = 0 }
 
   let push f p =
-    Queue.push p f.q;
+    Pktring.push f.ring p;
     f.bytes <- f.bytes + p.Packet.size;
     if f.bytes > f.max_bytes then f.max_bytes <- f.bytes
 
   let pop f =
-    match Queue.take_opt f.q with
-    | None -> None
-    | Some p ->
+    if Pktring.is_empty f.ring then None
+    else begin
+      let p = Pktring.pop f.ring in
       f.bytes <- f.bytes - p.Packet.size;
       Some p
+    end
 
-  let len f = Queue.length f.q
+  let len f = Pktring.length f.ring
 end
 
 let fifo ?cap_bytes ~cap_pkts () =
@@ -207,13 +210,15 @@ let wrr ?mark_threshold ~classify ~weights ~cap_pkts () =
           current := (c + 1) mod n
         end
         else begin
-          (match Queue.peek_opt f.F.q with
-          | Some head when head.Packet.size <= deficits.(c) ->
+          let head = Pktring.peek f.F.ring in
+          if head.Packet.size <= deficits.(c) then begin
             deficits.(c) <- deficits.(c) - head.Packet.size;
             result := F.pop f
-          | Some _ | None ->
+          end
+          else begin
             deficits.(c) <- deficits.(c) + (weights.(c) * quantum);
-            current := (c + 1) mod n)
+            current := (c + 1) mod n
+          end
         end
       done;
       !result

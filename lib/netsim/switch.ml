@@ -7,16 +7,17 @@ type t = {
   switch_name : string;
   mutable ports : Link.t array;
   mutable forward : (Packet.t -> action) option;
-  mutable hooks : (Packet.t -> verdict) list; (* reverse order *)
-  mutable taps : (Engine.Time.t -> Packet.t -> unit) list; (* reverse order *)
+  mutable hooks : (Packet.t -> verdict) list; (* forward order *)
+  mutable taps : (Engine.Time.t -> Packet.t -> unit) list; (* forward order *)
+  pool : Packet.pool option;
   mutable n_forwarded : int;
   mutable n_dropped : int;
   mutable n_consumed : int;
 }
 
-let create sim ~name =
+let create sim ~name ?pool () =
   { sim; switch_name = name; ports = [||]; forward = None; hooks = [];
-    taps = []; n_forwarded = 0; n_dropped = 0; n_consumed = 0 }
+    taps = []; pool; n_forwarded = 0; n_dropped = 0; n_consumed = 0 }
 
 let name t = t.switch_name
 let sim t = t.sim
@@ -30,22 +31,24 @@ let port_count t = Array.length t.ports
 
 let set_forward t f = t.forward <- Some f
 
-let add_ingress_hook t hook = t.hooks <- hook :: t.hooks
+(* Hooks and taps run in registration order; appending at setup time
+   avoids the per-packet [List.rev] the old representation needed. *)
+let add_ingress_hook t hook = t.hooks <- t.hooks @ [ hook ]
 
-let add_tap t f = t.taps <- f :: t.taps
+let add_tap t f = t.taps <- t.taps @ [ f ]
 
 let inject t ~port p =
   t.n_forwarded <- t.n_forwarded + 1;
   Link.send t.ports.(port) p
 
 let receive t p =
-  List.iter (fun f -> f (Engine.Sim.now t.sim) p) (List.rev t.taps);
+  List.iter (fun f -> f (Engine.Sim.now t.sim) p) t.taps;
   let rec run_hooks = function
     | [] -> Continue
     | hook :: rest -> (
       match hook p with Absorb -> Absorb | Continue -> run_hooks rest)
   in
-  match run_hooks (List.rev t.hooks) with
+  match run_hooks t.hooks with
   | Absorb -> t.n_consumed <- t.n_consumed + 1
   | Continue -> (
     match t.forward with
@@ -55,7 +58,9 @@ let receive t p =
       | Forward i ->
         t.n_forwarded <- t.n_forwarded + 1;
         Link.send t.ports.(i) p
-      | Drop -> t.n_dropped <- t.n_dropped + 1
+      | Drop ->
+        t.n_dropped <- t.n_dropped + 1;
+        (match t.pool with Some pool -> Packet.release pool p | None -> ())
       | Consume -> t.n_consumed <- t.n_consumed + 1))
 
 let forwarded t = t.n_forwarded

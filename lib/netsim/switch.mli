@@ -17,7 +17,10 @@ type verdict =
   | Continue  (** Proceed to the next hook / forwarding. *)
   | Absorb  (** Packet fully handled by the hook. *)
 
-val create : Engine.Sim.t -> name:string -> t
+val create : Engine.Sim.t -> name:string -> ?pool:Packet.pool -> unit -> t
+(** With [pool], packets the forwarding function [Drop]s are released
+    back to it — only safe when no other component retains references
+    to in-flight packets. *)
 
 val name : t -> string
 val sim : t -> Engine.Sim.t

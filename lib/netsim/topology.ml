@@ -14,7 +14,7 @@ let host t name =
   t.all_hosts <- node :: t.all_hosts;
   node
 
-let switch t name = Switch.create t.sim ~name
+let switch t name = Switch.create t.sim ~name ()
 
 let hosts t = List.rev t.all_hosts
 

@@ -1,0 +1,81 @@
+(** The unified message-transport interface.
+
+    Every transport stack (TCP, DCTCP, UDP, proxied TCP, MTP
+    endpoints) exposes a [Messaging] module satisfying {!S}; {!packed}
+    pairs the module with a stack value so heterogeneous transports
+    can be stored and driven uniformly by experiments. *)
+
+type delivery = {
+  msg_src : Packet.addr;
+  msg_src_port : int;
+  msg_size : int;
+  msg_latency : Engine.Time.t;
+}
+
+type stats = {
+  tx_messages : int;
+  rx_messages : int;
+  rx_bytes : int;
+  retransmits : int;
+}
+
+module type S = sig
+  type t
+
+  val id : string
+
+  val node : t -> Node.t
+
+  val listen :
+    t ->
+    port:int ->
+    ?on_data:(int -> unit) ->
+    ?on_message:(delivery -> unit) ->
+    unit ->
+    unit
+
+  val send_message :
+    t ->
+    dst:Packet.addr ->
+    dst_port:int ->
+    ?tc:int ->
+    ?on_complete:(Engine.Time.t -> unit) ->
+    size:int ->
+    unit ->
+    unit
+
+  val stream : t -> dst:Packet.addr -> dst_port:int -> ?tc:int -> unit -> unit
+
+  val stats : t -> stats
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+val pack : (module S with type t = 'a) -> 'a -> packed
+
+(** Generic dispatchers over a packed transport. *)
+
+val id : packed -> string
+val node : packed -> Node.t
+
+val listen :
+  packed ->
+  port:int ->
+  ?on_data:(int -> unit) ->
+  ?on_message:(delivery -> unit) ->
+  unit ->
+  unit
+
+val send_message :
+  packed ->
+  dst:Packet.addr ->
+  dst_port:int ->
+  ?tc:int ->
+  ?on_complete:(Engine.Time.t -> unit) ->
+  size:int ->
+  unit ->
+  unit
+
+val stream : packed -> dst:Packet.addr -> dst_port:int -> ?tc:int -> unit -> unit
+
+val stats : packed -> stats

@@ -1,0 +1,34 @@
+(** DCTCP: {!Tcp} with the ECN-proportional congestion controller
+    preselected (RFC 8257).  All connection operations are the plain
+    {!Tcp} ones — the types are shared. *)
+
+type t = Tcp.t
+
+type conn = Tcp.conn
+
+val default_g : float
+(** Alpha EWMA gain, 1/16. *)
+
+val install :
+  ?g:float ->
+  ?mss:int ->
+  ?rcv_buf:int ->
+  ?snd_buf:int ->
+  ?init_cwnd_pkts:int ->
+  ?min_rto:Engine.Time.t ->
+  ?entity:int ->
+  Netsim.Node.t ->
+  t
+
+val attach :
+  ?g:float ->
+  ?mss:int ->
+  ?rcv_buf:int ->
+  ?snd_buf:int ->
+  ?init_cwnd_pkts:int ->
+  ?min_rto:Engine.Time.t ->
+  ?entity:int ->
+  Netsim.Host.t ->
+  t
+
+module Messaging : Netsim.Transport_intf.S with type t = t

@@ -67,3 +67,36 @@ let max_occupancy t = t.max_occ
 let relayed_bytes t = t.relayed
 
 let sessions t = t.n_sessions
+
+(* ------------------------------------------------------------------ *)
+(* Unified transport interface                                          *)
+
+type via = {
+  v_stack : Tcp.t;
+  v_proxy : Netsim.Packet.addr;
+  v_proxy_port : int;
+}
+
+let via stack ~proxy ~proxy_port = { v_stack = stack; v_proxy = proxy; v_proxy_port = proxy_port }
+
+module Messaging = struct
+  type t = via
+
+  let id = "tcp-proxy"
+
+  let node v = Tcp.node v.v_stack
+
+  let listen v ~port ?on_data ?on_message () =
+    Tcp.Messaging.listen v.v_stack ~port ?on_data ?on_message ()
+
+  (* The destination is fixed at the proxy front: the proxy relays to
+     its configured server, so [dst]/[dst_port] are ignored. *)
+  let send_message v ~dst:_ ~dst_port:_ ?tc:_ ?on_complete ~size () =
+    Tcp.Messaging.send_message v.v_stack ~dst:v.v_proxy
+      ~dst_port:v.v_proxy_port ?on_complete ~size ()
+
+  let stream v ~dst:_ ~dst_port:_ ?tc:_ () =
+    Tcp.Messaging.stream v.v_stack ~dst:v.v_proxy ~dst_port:v.v_proxy_port ()
+
+  let stats v = Tcp.Messaging.stats v.v_stack
+end

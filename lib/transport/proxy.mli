@@ -36,3 +36,14 @@ val relayed_bytes : t -> int
 
 val sessions : t -> int
 (** Client connections accepted so far. *)
+
+type via
+(** A client's route through a proxy: its own TCP stack plus the
+    proxy's front address/port.  Lets proxied TCP be driven through
+    the unified transport interface. *)
+
+val via : Tcp.t -> proxy:Netsim.Packet.addr -> proxy_port:int -> via
+
+module Messaging : Netsim.Transport_intf.S with type t = via
+(** [send_message]/[stream] ignore [dst] and go to the proxy front;
+    the proxy relays to its configured server. *)

@@ -22,8 +22,12 @@ type conn = {
   mutable recover : int; (* NewReno: in recovery while snd_una < recover *)
   mutable reduce_end : int; (* ECE response allowed when snd_una >= this *)
   rtx : Rtx.t;
-  mutable rto_timer : Engine.Sim.handle option;
-  mutable persist_timer : Engine.Sim.handle option;
+  mutable rto_tm : Engine.Sim.timer;
+  (* Mirrors the classic "is an RTO pending?" flag checked by
+     [try_send]; deliberately left stale after a no-op RTO firing so
+     the re-arming policy matches the original option-based code. *)
+  mutable rto_set : bool;
+  mutable persist_tm : Engine.Sim.timer;
   mutable timed_seq : int; (* -1 = no RTT sample outstanding *)
   mutable timed_at : Engine.Time.t;
   (* DCTCP *)
@@ -65,6 +69,11 @@ and t = {
   conns : (int * int * int, conn) Hashtbl.t; (* local_port, peer, rport *)
   listeners : (int, int * (conn -> unit)) Hashtbl.t; (* rcv_buf, accept *)
   mutable next_port : int;
+  (* Stack-wide messaging counters (Transport_intf.stats). *)
+  mutable t_tx_msgs : int;
+  mutable t_rx_msgs : int;
+  mutable t_rx_bytes : int;
+  mutable t_retx : int;
 }
 
 let node t = t.t_node
@@ -84,7 +93,7 @@ let emit conn ?(syn = false) ?(fin = false) ?(is_ack = false) ?(ece = false)
       seq; ack = conn.rcv_nxt; payload; syn; fin; is_ack; ece; probe; rwnd }
   in
   let pkt =
-    Tcp_wire.packet ~now:(Engine.Sim.now stack.t_sim)
+    Tcp_wire.packet stack.t_sim
       ~src:(Netsim.Node.addr stack.t_node) ~dst:conn.peer
       ~entity:stack.t_entity seg
   in
@@ -96,18 +105,17 @@ let send_pure_ack ?(ece = false) conn =
 (* ------------------------------------------------------------------ *)
 (* Timers                                                               *)
 
-let cancel_timer slot =
-  match slot with Some h -> Engine.Sim.cancel h | None -> ()
-
 let outstanding conn = conn.snd_nxt > conn.snd_una
 
 let rec arm_rto conn =
-  cancel_timer conn.rto_timer;
-  if outstanding conn && conn.state <> Closed then
-    conn.rto_timer <-
-      Some (Engine.Sim.after conn.stack.t_sim (Rtx.rto conn.rtx) (fun () ->
-                on_rto conn))
-  else conn.rto_timer <- None
+  if outstanding conn && conn.state <> Closed then begin
+    Engine.Sim.arm_after conn.rto_tm (Rtx.rto conn.rtx);
+    conn.rto_set <- true
+  end
+  else begin
+    Engine.Sim.disarm conn.rto_tm;
+    conn.rto_set <- false
+  end
 
 and on_rto conn =
   if outstanding conn && conn.state <> Closed then begin
@@ -129,6 +137,7 @@ and on_rto conn =
    valid TCP retransmission. *)
 and retransmit_head conn =
   conn.n_retransmits <- conn.n_retransmits + 1;
+  conn.stack.t_retx <- conn.stack.t_retx + 1;
   conn.timed_seq <- -1 (* Karn's rule *);
   if conn.state = Syn_sent then emit conn ~syn:true ~seq:0 ~payload:0 ()
   else if conn.fin_seq >= 0 && conn.snd_una = conn.fin_seq then
@@ -166,7 +175,7 @@ let rec try_send conn =
         emit conn ~is_ack:true ~seq:conn.snd_nxt ~payload ();
         conn.snd_nxt <- conn.snd_nxt + payload;
         conn.app_buffer <- conn.app_buffer - payload;
-        if conn.rto_timer = None then arm_rto conn
+        if not conn.rto_set then arm_rto conn
       end
       else continue := false
     done;
@@ -184,8 +193,8 @@ let rec try_send conn =
        && conn.peer_rwnd < conn.stack.t_mss
     then begin
       note_stalled conn;
-      if conn.persist_timer = None && not (outstanding conn) then
-        arm_persist conn
+      if (not (Engine.Sim.armed conn.persist_tm)) && not (outstanding conn)
+      then arm_persist conn
     end;
     if conn.app_buffer < buffer_before then
       match conn.on_drain with Some f -> f conn | None -> ()
@@ -204,18 +213,16 @@ and note_unstalled conn =
     conn.stall_since <- None
 
 and arm_persist conn =
-  cancel_timer conn.persist_timer;
   let interval = max (Engine.Time.us 100) (Rtx.rto conn.rtx) in
-  conn.persist_timer <-
-    Some (Engine.Sim.after conn.stack.t_sim interval (fun () ->
-              conn.persist_timer <- None;
-              if conn.state = Established && conn.app_buffer > 0
-                 && conn.peer_rwnd = 0
-              then begin
-                emit conn ~is_ack:true ~probe:true ~seq:conn.snd_nxt
-                  ~payload:0 ();
-                arm_persist conn
-              end))
+  Engine.Sim.arm_after conn.persist_tm interval
+
+(* The timer auto-disarms before this runs. *)
+and on_persist conn =
+  if conn.state = Established && conn.app_buffer > 0 && conn.peer_rwnd = 0
+  then begin
+    emit conn ~is_ack:true ~probe:true ~seq:conn.snd_nxt ~payload:0 ();
+    arm_persist conn
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Congestion control reactions                                         *)
@@ -287,8 +294,8 @@ let finish_close conn =
     conn.c_closed_at <- Some (Engine.Sim.now conn.stack.t_sim);
     conn.state <- Closed;
     note_unstalled conn;
-    cancel_timer conn.rto_timer;
-    cancel_timer conn.persist_timer;
+    Engine.Sim.disarm conn.rto_tm;
+    Engine.Sim.disarm conn.persist_tm;
     Hashtbl.remove conn.stack.conns
       (conn.local_port, conn.peer, conn.remote_port);
     match conn.on_close with Some f -> f conn | None -> ()
@@ -357,6 +364,7 @@ let read conn n =
 let deliver conn n =
   if n > 0 then begin
     conn.delivered <- conn.delivered + n;
+    conn.stack.t_rx_bytes <- conn.stack.t_rx_bytes + n;
     conn.buffered <- conn.buffered + n;
     (match conn.on_data with Some f -> f conn n | None -> ());
     if conn.auto_read then read conn n
@@ -368,6 +376,7 @@ let check_peer_fin conn =
   then begin
     conn.rcv_nxt <- conn.rcv_nxt + 1;
     conn.peer_fin_done <- true;
+    conn.stack.t_rx_msgs <- conn.stack.t_rx_msgs + 1;
     match conn.on_peer_fin with Some f -> f conn | None -> ()
   end
 
@@ -416,22 +425,29 @@ let process_data conn (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
 (* Connection setup and dispatch                                        *)
 
 let make_conn stack ~peer ~local_port ~remote_port ~rcv_buf ~state =
-  { stack; peer; local_port; remote_port; c_rcv_buf = rcv_buf; state;
-    snd_una = 0; snd_nxt = 0; app_buffer = 0; fin_pending = false;
-    fin_seq = -1; cwnd = float_of_int stack.t_init_cwnd;
-    ssthresh = float_of_int infinite; peer_rwnd = infinite; dupacks = 0;
-    recover = 0; reduce_end = 0;
-    rtx = Rtx.create ~min_rto:stack.t_min_rto ();
-    rto_timer = None; persist_timer = None; timed_seq = -1; timed_at = 0;
-    (* alpha starts at 1 (RFC 8257): the first marked window halves,
-       avoiding the slow-start overshoot a zero alpha would allow. *)
-    alpha = 1.0; ce_window_end = 1; acked_win = 0; marked_win = 0;
-    rcv_nxt = 0; ooo = []; remote_fin_seq = -1; peer_fin_done = false;
-    delivered = 0; buffered = 0; auto_read = true; on_data = None;
-    on_close = None; on_peer_fin = None; on_drain = None;
-    n_retransmits = 0; n_timeouts = 0;
-    c_opened_at = Engine.Sim.now stack.t_sim; c_closed_at = None;
-    stall_since = None; stall_total = 0 }
+  let placeholder = Engine.Sim.timer stack.t_sim ignore in
+  let conn =
+    { stack; peer; local_port; remote_port; c_rcv_buf = rcv_buf; state;
+      snd_una = 0; snd_nxt = 0; app_buffer = 0; fin_pending = false;
+      fin_seq = -1; cwnd = float_of_int stack.t_init_cwnd;
+      ssthresh = float_of_int infinite; peer_rwnd = infinite; dupacks = 0;
+      recover = 0; reduce_end = 0;
+      rtx = Rtx.create ~min_rto:stack.t_min_rto ();
+      rto_tm = placeholder; rto_set = false; persist_tm = placeholder;
+      timed_seq = -1; timed_at = 0;
+      (* alpha starts at 1 (RFC 8257): the first marked window halves,
+         avoiding the slow-start overshoot a zero alpha would allow. *)
+      alpha = 1.0; ce_window_end = 1; acked_win = 0; marked_win = 0;
+      rcv_nxt = 0; ooo = []; remote_fin_seq = -1; peer_fin_done = false;
+      delivered = 0; buffered = 0; auto_read = true; on_data = None;
+      on_close = None; on_peer_fin = None; on_drain = None;
+      n_retransmits = 0; n_timeouts = 0;
+      c_opened_at = Engine.Sim.now stack.t_sim; c_closed_at = None;
+      stall_since = None; stall_total = 0 }
+  in
+  conn.rto_tm <- Engine.Sim.timer stack.t_sim (fun () -> on_rto conn);
+  conn.persist_tm <- Engine.Sim.timer stack.t_sim (fun () -> on_persist conn);
+  conn
 
 let handle_syn stack (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
   match Hashtbl.find_opt stack.listeners seg.dst_port with
@@ -472,8 +488,8 @@ let handle_segment stack (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
         Rtx.observe conn.rtx
           (Engine.Sim.now stack.t_sim - conn.c_opened_at);
         conn.timed_seq <- -1;
-        cancel_timer conn.rto_timer;
-        conn.rto_timer <- None;
+        Engine.Sim.disarm conn.rto_tm;
+        conn.rto_set <- false;
         send_pure_ack conn;
         try_send conn
       end
@@ -485,34 +501,51 @@ let handle_segment stack (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
         end
       end
 
-let install ?(cc = Reno) ?(mss = 1460) ?rcv_buf ?snd_buf
+let make_stack ?(cc = Reno) ?(mss = 1460) ?rcv_buf ?snd_buf
     ?(init_cwnd_pkts = 10) ?(min_rto = Engine.Time.us 50) ?(entity = 0) node
     =
+  { t_node = node; t_sim = Netsim.Node.sim node; t_cc = cc; t_mss = mss;
+    t_rcv_buf = (match rcv_buf with Some b -> b | None -> infinite);
+    t_snd_buf = (match snd_buf with Some b -> b | None -> infinite);
+    t_init_cwnd = init_cwnd_pkts * mss; t_min_rto = min_rto;
+    t_entity = entity; conns = Hashtbl.create 32;
+    listeners = Hashtbl.create 4; next_port = 10_000;
+    t_tx_msgs = 0; t_rx_msgs = 0; t_rx_bytes = 0; t_retx = 0 }
+
+let concerns_us stack (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
+  if seg.syn && not seg.is_ack then Hashtbl.mem stack.listeners seg.dst_port
+  else
+    Hashtbl.mem stack.conns
+      (seg.dst_port, pkt.Netsim.Packet.src, seg.src_port)
+
+let claim stack pkt =
+  match pkt.Netsim.Packet.payload with
+  | Tcp_wire.Tcp seg when concerns_us stack seg pkt ->
+    handle_segment stack seg pkt;
+    true
+  | _ -> false
+
+let install ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?entity node =
   let stack =
-    { t_node = node; t_sim = Netsim.Node.sim node; t_cc = cc; t_mss = mss;
-      t_rcv_buf = (match rcv_buf with Some b -> b | None -> infinite);
-      t_snd_buf = (match snd_buf with Some b -> b | None -> infinite);
-      t_init_cwnd = init_cwnd_pkts * mss; t_min_rto = min_rto;
-      t_entity = entity; conns = Hashtbl.create 32;
-      listeners = Hashtbl.create 4; next_port = 10_000 }
+    make_stack ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?entity
+      node
   in
   let previous = Netsim.Node.handler node in
   (* Multiple stacks may coexist on one host (e.g. a host that is both
      a client and a server): a segment that names no listener or
      connection of ours falls through to the previously installed
      handler. *)
-  let concerns_us (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
-    if seg.syn && not seg.is_ack then
-      Hashtbl.mem stack.listeners seg.dst_port
-    else
-      Hashtbl.mem stack.conns
-        (seg.dst_port, pkt.Netsim.Packet.src, seg.src_port)
-  in
   Netsim.Node.set_handler node (fun pkt ->
-      match pkt.Netsim.Packet.payload with
-      | Tcp_wire.Tcp seg when concerns_us seg pkt ->
-        handle_segment stack seg pkt
-      | _ -> ( match previous with Some h -> h pkt | None -> ()));
+      if not (claim stack pkt) then
+        match previous with Some h -> h pkt | None -> ());
+  stack
+
+let attach ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?entity host =
+  let stack =
+    make_stack ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?entity
+      (Netsim.Host.node host)
+  in
+  Netsim.Host.register host ~name:"tcp" (claim stack);
   stack
 
 let listen stack ~port ?rcv_buf accept =
@@ -582,3 +615,61 @@ let stall_time conn =
   | None -> conn.stall_total
   | Some since ->
     conn.stall_total + (Engine.Sim.now conn.stack.t_sim - since)
+
+(* ------------------------------------------------------------------ *)
+(* Unified transport interface                                          *)
+
+module Messaging = struct
+  type nonrec t = t
+
+  let id = "tcp"
+
+  let node = node
+
+  let listen t ~port ?on_data ?on_message () =
+    listen t ~port (fun conn ->
+        (match on_data with
+        | Some f -> set_on_data conn (fun _ n -> f n)
+        | None -> ());
+        match on_message with
+        | Some f ->
+          set_on_peer_fin conn (fun conn ->
+              f
+                { Netsim.Transport_intf.msg_src = conn.peer;
+                  msg_src_port = conn.remote_port;
+                  msg_size = conn.delivered;
+                  msg_latency =
+                    Engine.Sim.now t.t_sim - conn.c_opened_at })
+        | None -> ())
+
+  (* One message = one connection, closed after the last byte; the
+     completion time is FIN-acked minus connect, i.e. the flow
+     completion time. *)
+  let send_message t ~dst ~dst_port ?tc:_ ?on_complete ~size () =
+    t.t_tx_msgs <- t.t_tx_msgs + 1;
+    let conn = connect t ~dst ~dst_port () in
+    (match on_complete with
+    | Some f ->
+      set_on_close conn (fun conn ->
+          match conn.c_closed_at with
+          | Some at -> f (at - conn.c_opened_at)
+          | None -> ())
+    | None -> ());
+    send conn size;
+    close conn
+
+  (* A backlogged byte stream: refill whenever the send buffer dips
+     below one chunk. *)
+  let stream t ~dst ~dst_port ?tc:_ () =
+    let chunk = 1_000_000 in
+    let conn = connect t ~dst ~dst_port () in
+    set_on_drain conn (fun conn ->
+        if send_buffered conn < chunk then send conn chunk);
+    send conn (2 * chunk)
+
+  let stats t =
+    { Netsim.Transport_intf.tx_messages = t.t_tx_msgs;
+      rx_messages = t.t_rx_msgs;
+      rx_bytes = t.t_rx_bytes;
+      retransmits = t.t_retx }
+end

@@ -44,6 +44,19 @@ val install :
     catastrophically; [entity] tags every packet for per-entity network
     policies.  [mss] defaults to 1460 payload bytes. *)
 
+val attach :
+  ?cc:cc ->
+  ?mss:int ->
+  ?rcv_buf:int ->
+  ?snd_buf:int ->
+  ?init_cwnd_pkts:int ->
+  ?min_rto:Engine.Time.t ->
+  ?entity:int ->
+  Netsim.Host.t ->
+  t
+(** Like {!install}, but registers with a {!Netsim.Host} dispatcher
+    instead of chaining raw node handlers. *)
+
 val node : t -> Netsim.Node.t
 val sim : t -> Engine.Sim.t
 
@@ -124,3 +137,8 @@ val mss : conn -> int
 val stall_time : conn -> Engine.Time.t
 (** Cumulative time the sender spent blocked on a closed peer window
     (receive-window head-of-line blocking, Fig. 2). *)
+
+module Messaging : Netsim.Transport_intf.S with type t = t
+(** Drive this stack through the unified transport interface:
+    [send_message] opens a connection per message and closes it after
+    the last byte; [stream] keeps a connection backlogged. *)

@@ -19,12 +19,12 @@ let header_bytes = 40
 let seg_seq_len seg =
   seg.payload + (if seg.syn then 1 else 0) + if seg.fin then 1 else 0
 
-let packet ~now ~src ~dst ~entity seg =
+let packet sim ~src ~dst ~entity seg =
   let flow_hash =
     Netsim.Packet.flow_hash_of ~src ~dst ~src_port:seg.src_port
       ~dst_port:seg.dst_port
   in
-  Netsim.Packet.make ~entity ~flow_hash ~payload:(Tcp seg) ~now ~src ~dst
+  Netsim.Packet.make ~entity ~flow_hash ~payload:(Tcp seg) sim ~src ~dst
     ~size:(header_bytes + seg.payload) ()
 
 let pp fmt seg =

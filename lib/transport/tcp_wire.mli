@@ -27,7 +27,7 @@ val seg_seq_len : t -> int
 (** Sequence space consumed: payload plus one for SYN and FIN each. *)
 
 val packet :
-  now:Engine.Time.t ->
+  Engine.Sim.t ->
   src:Netsim.Packet.addr ->
   dst:Netsim.Packet.addr ->
   entity:int ->

@@ -16,12 +16,14 @@ type t = {
   u_sim : Engine.Sim.t;
   mtu_payload : int;
   entity : int;
+  pool : Netsim.Packet.pool option;
   listeners :
     (int, src:Netsim.Packet.addr -> msg_id:int -> size:int -> unit) Hashtbl.t;
   partial : (int * int, int) Hashtbl.t; (* (src, msg_id) -> bytes seen *)
   mutable next_msg : int;
   mutable rx_bytes : int;
   mutable completed : int;
+  mutable tx_msgs : int;
 }
 
 let handle t (d : datagram) (pkt : Netsim.Packet.t) =
@@ -41,17 +43,37 @@ let handle t (d : datagram) (pkt : Netsim.Packet.t) =
     end
     else Hashtbl.replace t.partial key seen
 
-let install ?(mtu_payload = 1472) ?(entity = 0) node =
-  let t =
-    { u_node = node; u_sim = Netsim.Node.sim node; mtu_payload; entity;
-      listeners = Hashtbl.create 4; partial = Hashtbl.create 32;
-      next_msg = 0; rx_bytes = 0; completed = 0 }
-  in
+let make_stack ?(mtu_payload = 1472) ?(entity = 0) ?pool node =
+  { u_node = node; u_sim = Netsim.Node.sim node; mtu_payload; entity; pool;
+    listeners = Hashtbl.create 4; partial = Hashtbl.create 32;
+    next_msg = 0; rx_bytes = 0; completed = 0; tx_msgs = 0 }
+
+(* Datagrams are consumed on arrival, so with a pool the packet goes
+   straight back for reuse. *)
+let claim t pkt =
+  match pkt.Netsim.Packet.payload with
+  | Udp d ->
+    handle t d pkt;
+    (match t.pool with
+    | Some pool -> Netsim.Packet.release pool pkt
+    | None -> ());
+    true
+  | _ -> false
+
+let install ?mtu_payload ?entity node =
+  let t = make_stack ?mtu_payload ?entity node in
   let previous = Netsim.Node.handler node in
   Netsim.Node.set_handler node (fun pkt ->
-      match pkt.Netsim.Packet.payload with
-      | Udp d -> handle t d pkt
-      | _ -> ( match previous with Some h -> h pkt | None -> ()));
+      if not (claim t pkt) then
+        match previous with Some h -> h pkt | None -> ());
+  t
+
+let attach ?mtu_payload ?entity host =
+  let t =
+    make_stack ?mtu_payload ?entity ~pool:(Netsim.Host.pool host)
+      (Netsim.Host.node host)
+  in
+  Netsim.Host.register host ~name:"udp" (claim t);
   t
 
 let listen t ~port cb = Hashtbl.replace t.listeners port cb
@@ -61,16 +83,19 @@ let send t ~dst ~dst_port ~size =
   t.next_msg <- t.next_msg + 1;
   let src = Netsim.Node.addr t.u_node in
   let src_port = 20_000 in
+  let flow_hash = Netsim.Packet.flow_hash_of ~src ~dst ~src_port ~dst_port in
   let rec fragment offset =
     if offset < size then begin
       let len = min t.mtu_payload (size - offset) in
       let d = { src_port; dst_port; msg_id; offset; len; total = size } in
       let pkt =
-        Netsim.Packet.make ~entity:t.entity
-          ~flow_hash:
-            (Netsim.Packet.flow_hash_of ~src ~dst ~src_port ~dst_port)
-          ~payload:(Udp d) ~now:(Engine.Sim.now t.u_sim) ~src ~dst
-          ~size:(header_bytes + len) ()
+        match t.pool with
+        | Some pool ->
+          Netsim.Packet.recycle ~entity:t.entity ~flow_hash ~payload:(Udp d)
+            pool ~src ~dst ~size:(header_bytes + len) ()
+        | None ->
+          Netsim.Packet.make ~entity:t.entity ~flow_hash ~payload:(Udp d)
+            t.u_sim ~src ~dst ~size:(header_bytes + len) ()
       in
       Netsim.Node.send t.u_node pkt;
       fragment (offset + len)
@@ -82,3 +107,51 @@ let send t ~dst ~dst_port ~size =
 let bytes_received t = t.rx_bytes
 
 let messages_completed t = t.completed
+
+module Messaging = struct
+  type nonrec t = t
+
+  let id = "udp"
+
+  let node t = t.u_node
+
+  let listen t ~port ?on_data ?on_message () =
+    listen t ~port (fun ~src ~msg_id:_ ~size ->
+        (match on_data with Some f -> f size | None -> ());
+        match on_message with
+        | Some f ->
+          f
+            { Netsim.Transport_intf.msg_src = src;
+              msg_src_port = 20_000;
+              msg_size = size;
+              (* No handshake or acks: per-message latency is not
+                 observable at the receiver. *)
+              msg_latency = 0 }
+        | None -> ())
+
+  (* UDP blasts at line rate with no acknowledgements, so "complete"
+     is modelled as the sender-side drain time at the uplink rate. *)
+  let send_message t ~dst ~dst_port ?tc:_ ?on_complete ~size () =
+    t.tx_msgs <- t.tx_msgs + 1;
+    ignore (send t ~dst ~dst_port ~size);
+    match on_complete with
+    | Some f ->
+      let rate = Netsim.Link.rate (Netsim.Node.uplink t.u_node) in
+      let dt = max 1 (Engine.Time.tx_time ~bytes:size ~rate) in
+      ignore (Engine.Sim.after t.u_sim dt (fun () -> f dt))
+    | None -> ()
+
+  let stream t ~dst ~dst_port ?tc () =
+    let chunk = 1_000_000 in
+    let rec next () =
+      send_message t ~dst ~dst_port ?tc ~on_complete:(fun _ -> next ())
+        ~size:chunk ()
+    in
+    next ()
+
+  let stats t =
+    { Netsim.Transport_intf.tx_messages = t.tx_msgs;
+      rx_messages = t.completed;
+      rx_bytes = t.rx_bytes;
+      retransmits = 0 }
+end

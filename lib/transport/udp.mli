@@ -10,6 +10,11 @@ type t
 val install : ?mtu_payload:int -> ?entity:int -> Netsim.Node.t -> t
 (** [mtu_payload] defaults to 1472 bytes per fragment. *)
 
+val attach : ?mtu_payload:int -> ?entity:int -> Netsim.Host.t -> t
+(** Like {!install}, but registers with the host dispatcher and uses
+    the host's packet pool: sends recycle released packets and
+    received datagrams are released after delivery. *)
+
 val listen :
   t ->
   port:int ->
@@ -25,3 +30,7 @@ val bytes_received : t -> int
     messages). *)
 
 val messages_completed : t -> int
+
+module Messaging : Netsim.Transport_intf.S with type t = t
+(** [send_message]'s completion fires at the sender-side drain time
+    (line-rate blast, no acknowledgements). *)

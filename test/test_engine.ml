@@ -87,7 +87,7 @@ let test_rng_pareto_minimum () =
 (* ----------------------------- Eventqueue -------------------------- *)
 
 let test_heap_ordering () =
-  let q = Eventqueue.create () in
+  let q = Eventqueue.create ~dummy:"?" () in
   Eventqueue.add q ~time:5 ~seq:0 "c";
   Eventqueue.add q ~time:1 ~seq:1 "a";
   Eventqueue.add q ~time:3 ~seq:2 "b";
@@ -97,7 +97,7 @@ let test_heap_ordering () =
   Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
 
 let test_heap_fifo_ties () =
-  let q = Eventqueue.create () in
+  let q = Eventqueue.create ~dummy:(-1) () in
   for i = 0 to 9 do
     Eventqueue.add q ~time:7 ~seq:i i
   done;
@@ -110,7 +110,7 @@ let test_heap_fifo_ties () =
 let test_heap_interleaved () =
   (* Property: popping after random pushes yields sorted (time, seq). *)
   let rng = Rng.create 23 in
-  let q = Eventqueue.create () in
+  let q = Eventqueue.create ~dummy:() () in
   let seq = ref 0 in
   let popped = ref [] in
   for _ = 1 to 2000 do
@@ -140,6 +140,52 @@ let test_heap_interleaved () =
   non_decreasing result;
   check "conservation" !seq (List.length result)
 
+(* qcheck: the heap agrees with a reference model — a sorted association
+   list keyed by (time, seq) — under an arbitrary push/pop program,
+   including FIFO order among same-time entries. *)
+let prop_heap_matches_model =
+  QCheck.Test.make ~name:"eventqueue matches sorted-list model" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 200) (option (int_range 0 50)))
+    (fun program ->
+      let q = Eventqueue.create ~dummy:(-1) () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let insert_model time s =
+        (* Stable insert: same-time entries stay in seq order. *)
+        let rec go = function
+          | [] -> [ (time, s) ]
+          | (t, s') :: rest when t < time || (t = time && s' < s) ->
+            (t, s') :: go rest
+          | rest -> (time, s) :: rest
+        in
+        model := go !model
+      in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some time ->
+            Eventqueue.add q ~time ~seq:!seq !seq;
+            insert_model time !seq;
+            incr seq
+          | None -> (
+            match (Eventqueue.pop q, !model) with
+            | None, [] -> ()
+            | Some (t, s, v), (mt, ms) :: rest ->
+              if t <> mt || s <> ms || v <> ms then ok := false;
+              model := rest
+            | Some _, [] | None, _ :: _ -> ok := false))
+        program;
+      (* Drain both and compare the tails. *)
+      while not (Eventqueue.is_empty q) do
+        match (Eventqueue.pop q, !model) with
+        | Some (t, s, _), (mt, ms) :: rest ->
+          if t <> mt || s <> ms then ok := false;
+          model := rest
+        | _ -> ok := false
+      done;
+      !ok && !model = [])
+
 (* -------------------------------- Sim ------------------------------ *)
 
 let test_sim_runs_in_order () =
@@ -165,7 +211,7 @@ let test_sim_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
   let h = Sim.schedule sim ~at:(Time.us 1) (fun () -> fired := true) in
-  Sim.cancel h;
+  Sim.cancel sim h;
   Sim.run sim;
   checkb "cancelled event did not fire" false !fired
 
@@ -199,10 +245,50 @@ let test_sim_rejects_past () =
     (Invalid_argument "Sim.schedule: at=1000 is before now=5000") (fun () ->
       ignore (Sim.schedule sim ~at:(Time.us 1) (fun () -> ())))
 
+let test_sim_timer_rearm () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let tm = Sim.timer sim (fun () -> incr fired) in
+  Sim.arm tm ~at:(Time.us 1);
+  Sim.arm tm ~at:(Time.us 2);
+  (* Re-arming replaces the pending occurrence: only one firing. *)
+  Sim.run sim;
+  check "one firing after re-arm" 1 !fired;
+  checkb "auto-disarmed after firing" false (Sim.armed tm);
+  (* The same timer object is reusable without reallocation. *)
+  Sim.arm_after tm (Time.us 3);
+  checkb "armed again" true (Sim.armed tm);
+  Sim.run sim;
+  check "fired again" 2 !fired
+
+let test_sim_timer_disarm () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let tm = Sim.timer sim (fun () -> incr fired) in
+  Sim.arm_after tm (Time.us 1);
+  Sim.disarm tm;
+  checkb "disarmed" false (Sim.armed tm);
+  Sim.run sim;
+  check "never fired" 0 !fired;
+  (* Disarming an idle timer is a no-op. *)
+  Sim.disarm tm
+
+let test_sim_periodic_cancel () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  let tm =
+    Sim.periodic sim ~interval:(Time.us 10) (fun () ->
+        incr ticks;
+        true)
+  in
+  ignore (Sim.schedule sim ~at:(Time.us 35) (fun () -> Sim.disarm tm));
+  Sim.run ~until:(Time.ms 1) sim;
+  check "recurrence stopped by disarm" 3 !ticks
+
 let test_sim_periodic () =
   let sim = Sim.create () in
   let ticks = ref 0 in
-  Sim.periodic sim ~interval:(Time.us 10) (fun () ->
+  ignore @@ Sim.periodic sim ~interval:(Time.us 10) (fun () ->
       incr ticks;
       !ticks < 5);
   Sim.run sim;
@@ -298,6 +384,10 @@ let suite =
     Alcotest.test_case "sim nested" `Quick test_sim_nested_schedule;
     Alcotest.test_case "sim rejects past" `Quick test_sim_rejects_past;
     Alcotest.test_case "sim periodic" `Quick test_sim_periodic;
+    Alcotest.test_case "sim timer rearm" `Quick test_sim_timer_rearm;
+    Alcotest.test_case "sim timer disarm" `Quick test_sim_timer_disarm;
+    Alcotest.test_case "sim periodic cancel" `Quick test_sim_periodic_cancel;
+    QCheck_alcotest.to_alcotest prop_heap_matches_model;
     QCheck_alcotest.to_alcotest prop_sim_deterministic;
     QCheck_alcotest.to_alcotest prop_sim_until_boundary;
     Alcotest.test_case "trace off" `Quick test_trace_disabled_by_default;

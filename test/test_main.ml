@@ -4,6 +4,7 @@ let () =
       ("stats", Test_stats.suite);
       ("netsim", Test_netsim.suite);
       ("tcp", Test_tcp.suite);
+      ("messaging", Test_messaging.suite);
       ("mtp", Test_mtp.suite);
       ("workload", Test_workload.suite);
       ("innetwork", Test_innetwork.suite);

@@ -199,7 +199,7 @@ let test_blob_rejects_empty () =
 
 let test_mutate_rejects_bad_factor () =
   let sim = Engine.Sim.create () in
-  let sw = Netsim.Switch.create sim ~name:"sw" in
+  let sw = Netsim.Switch.create sim ~name:"sw" () in
   Alcotest.check_raises "factor must be in (0, 1]"
     (Invalid_argument "Mutate.install: factor") (fun () ->
       ignore (Innetwork.Mutate.install sw ~dst_port:1 ~factor:1.5 ()))
@@ -533,7 +533,7 @@ let test_endpoint_swift_delay_control () =
   let got = ref 0 in
   let max_queue = ref 0 in
   Endpoint.bind eb ~port:80 (fun d -> got := !got + d.Endpoint.dl_size);
-  Engine.Sim.periodic sim ~interval:(Engine.Time.us 10) (fun () ->
+  ignore @@ Engine.Sim.periodic sim ~interval:(Engine.Time.us 10) (fun () ->
       max_queue := max !max_queue (qd.Qdisc.pkt_length ());
       Engine.Sim.now sim < Engine.Time.ms 50);
   ignore (Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80 ~size:5_000_000 ());
@@ -768,6 +768,7 @@ let test_msg_lb_balances_by_size () =
   checki "mice all on the other" 20 assigned.(1)
 
 let test_exclusion_aware_routing () =
+  let sim = Engine.Sim.create () in
   let routes = Netsim.Routing.create () in
   Netsim.Routing.add routes 5 0;
   Netsim.Routing.add routes 5 1;
@@ -778,7 +779,7 @@ let test_exclusion_aware_routing () =
       ~src_port:1 ~dst_port:2 ~msg_id:1 ~msg_len:100 ~msg_pkts:1 ~pkt_num:0
       ~pkt_offset:0 ~pkt_len:100 ()
   in
-  let pkt = Wire.packet ~now:0 ~src:1 ~dst:5 ~entity:0 header in
+  let pkt = Wire.packet sim ~src:1 ~dst:5 ~entity:0 header in
   (match Mtp_switch.exclusion_aware ~port_paths routes pkt with
   | Netsim.Switch.Forward 1 -> ()
   | _ -> Alcotest.fail "should avoid excluded pathlet 100 (port 0)");
@@ -791,7 +792,7 @@ let test_exclusion_aware_routing () =
       ~src_port:1 ~dst_port:2 ~msg_id:2 ~msg_len:100 ~msg_pkts:1 ~pkt_num:0
       ~pkt_offset:0 ~pkt_len:100 ()
   in
-  let pkt_all = Wire.packet ~now:0 ~src:1 ~dst:5 ~entity:0 header_all in
+  let pkt_all = Wire.packet sim ~src:1 ~dst:5 ~entity:0 header_all in
   match Mtp_switch.exclusion_aware ~port_paths routes pkt_all with
   | Netsim.Switch.Forward _ -> ()
   | _ -> Alcotest.fail "must still forward when everything is excluded"

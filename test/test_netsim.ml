@@ -5,9 +5,11 @@ open Netsim
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 
+let psim = Engine.Sim.create ()
+
 let pkt ?(size = 1500) ?(entity = 0) ?(prio = 0) ?(flow_hash = 0) ?(src = 0)
     ?(dst = 1) () =
-  Packet.make ~entity ~prio ~flow_hash ~now:0 ~src ~dst ~size ()
+  Packet.make ~entity ~prio ~flow_hash psim ~src ~dst ~size ()
 
 (* ------------------------------ Packet ----------------------------- *)
 
@@ -273,7 +275,7 @@ let test_link_utilization_accounting () =
 
 let build_switch_pair () =
   let sim = Engine.Sim.create () in
-  let sw = Switch.create sim ~name:"sw" in
+  let sw = Switch.create sim ~name:"sw" () in
   let out =
     Link.create sim ~name:"out" ~rate:(Engine.Time.gbps 100) ~delay:0 ()
   in
@@ -626,7 +628,7 @@ let test_monitor_link_throughput () =
       ~until:(Engine.Time.us 100) ()
   in
   (* Saturate the 10 Gbps link. *)
-  Engine.Sim.periodic sim ~interval:(Engine.Time.us 1) (fun () ->
+  ignore @@ Engine.Sim.periodic sim ~interval:(Engine.Time.us 1) (fun () ->
       for _ = 1 to 2 do
         Link.send link (pkt ())
       done;

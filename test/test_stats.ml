@@ -135,7 +135,7 @@ let test_meter_measures_rate () =
   let sim = Engine.Sim.create () in
   let m = Stats.Meter.create sim ~interval:(Engine.Time.us 10) () in
   (* 12500 bytes per 10 us = 10 Gbps. *)
-  Engine.Sim.periodic sim ~interval:(Engine.Time.us 1) (fun () ->
+  ignore @@ Engine.Sim.periodic sim ~interval:(Engine.Time.us 1) (fun () ->
       Stats.Meter.count_bytes m 1250;
       Engine.Sim.now sim < Engine.Time.us 100);
   Engine.Sim.run ~until:(Engine.Time.us 101) sim;
