@@ -13,14 +13,16 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# CI gate: full build, the test suite, and a quick datapath bench that
-# must produce the allocation/throughput guardrail report.
+# CI gate: full build, the test suite, a quick datapath bench that
+# must produce the allocation/throughput guardrail report, and a
+# shortened failover run exercising fault injection end to end.
 check:
 	dune build @all
 	dune runtest --force
 	rm -f BENCH_engine.json
 	dune exec bench/main.exe -- --smoke
 	test -f BENCH_engine.json
+	dune exec bin/mtp_sim.exe -- failover --duration-ms 16 --fail-ms 5 --detect-ms 3 --restore-ms 11
 
 exhibits:
 	dune exec bin/mtp_sim.exe -- all

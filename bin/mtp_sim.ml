@@ -215,6 +215,41 @@ let messaging_cmd =
          "Drive TCP, DCTCP, UDP, proxied TCP and MTP through the unified           transport interface on identical workloads")
     Term.(const run $ output_opts $ seed $ duration_ms 10 $ size $ parallel)
 
+(* ----------------------------- failover ---------------------------- *)
+
+let failover_cmd =
+  let run dump seed duration fail_ms detect_ms restore_ms =
+    let scale ms = Engine.Time.ms ms in
+    let config =
+      { Ext_failover.default with
+        Ext_failover.seed;
+        duration = scale duration;
+        t_fail = scale fail_ms;
+        detect = scale detect_ms;
+        t_restore = scale restore_ms }
+    in
+    print_result dump (Ext_failover.result ~config ())
+  in
+  let fail_ms =
+    Arg.(value & opt int 10
+         & info [ "fail-ms" ] ~doc:"Path A failure time (ms).")
+  in
+  let detect_ms =
+    Arg.(value & opt int 5
+         & info [ "detect-ms" ] ~doc:"Routing reconvergence delay (ms).")
+  in
+  let restore_ms =
+    Arg.(value & opt int 20
+         & info [ "restore-ms" ] ~doc:"Path A restoration time (ms).")
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:
+         "Mid-transfer link failure: TCP/DCTCP vs MTP pathlet failover \
+          (recovery time and goodput dip)")
+    Term.(const run $ output_opts $ seed $ duration_ms 30 $ fail_ms
+          $ detect_ms $ restore_ms)
+
 (* ------------------------------ sweeps ----------------------------- *)
 
 let sweeps_cmd =
@@ -255,5 +290,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd;
-            features_cmd; extensions_cmd; messaging_cmd; sweeps_cmd;
+            features_cmd; extensions_cmd; messaging_cmd; failover_cmd;
+            sweeps_cmd;
             all_cmd ]))

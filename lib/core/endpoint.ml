@@ -33,8 +33,10 @@ type txmsg = {
   mutable scan : int; (* all packets below this index are not Unsent *)
   mutable retx : int list; (* packet numbers awaiting retransmission *)
   tx_created : Engine.Time.t;
+  tx_deadline : Engine.Time.t option; (* absolute; abort past this *)
   mutable tx_last_progress : Engine.Time.t;
   tx_on_complete : (Engine.Time.t -> unit) option;
+  tx_on_error : (Engine.Time.t -> unit) option;
 }
 
 type rxmsg = {
@@ -86,6 +88,7 @@ type t = {
   mutable ticker_running : bool;
   (* counters *)
   mutable n_completed : int;
+  mutable n_failed : int;
   mutable n_delivered : int;
   mutable n_delivered_bytes : int;
   mutable n_retransmits : int;
@@ -117,13 +120,27 @@ let default_path tc = [ { Wire.path_id = 0; path_tc = tc } ]
 
 (* A pathlet stays "live" for a destination while acks keep naming it;
    after a few RTTs of silence (e.g. the network moved the path) it
-   expires and stops constraining or crediting the send budget. *)
+   expires and stops constraining or crediting the send budget.  Two
+   failure-handling exceptions: a pathlet with outstanding flight or
+   accumulated RTO strikes is kept past its TTL — an outage silences
+   acks for every pathlet at once, and expiring them would shift all
+   blame onto the meaningless default path ref — while a suspect
+   pathlet is dropped even inside its TTL (it must neither carry
+   charges nor inflate the message RTO; revival probes address it
+   directly). *)
 let live_refs t entries =
   let time = Engine.Sim.now t.ep_sim in
   List.filter_map
     (fun (r, seen) ->
-      let ttl = max (Engine.Time.us 20) (4 * Cc.srtt (Pathlet.get t.path_table r)) in
-      if time - seen <= ttl then Some r else None)
+      if Pathlet.suspect t.path_table r then None
+      else
+        let ttl = max (Engine.Time.us 20) (4 * Cc.srtt (Pathlet.get t.path_table r)) in
+        if
+          time - seen <= ttl
+          || Pathlet.inflight t.path_table r > 0
+          || Pathlet.strikes t.path_table r > 0
+        then Some r
+        else None)
     entries
 
 let current_path t ~dst =
@@ -169,12 +186,48 @@ let emit_header t ~dst header =
 
 let send_data_pkt t msg pkt_num ~rtx =
   let payload = pkt_payload t msg pkt_num in
+  let path = path_for t ~dst:msg.tx_dst ~tc:msg.tx_tc in
+  (* A suspect pathlet due for a revival probe carries this packet: the
+     header excludes every other pathlet so exclusion-aware switches
+     actually route it over the suspect one, and an ack coming back
+     clears the suspicion via [note_progress]. *)
+  let probe = Pathlet.probe_target t.path_table ~now:(now t) in
   let exclude =
-    if t.exclusion then
-      (* Cap the list so headers stay small. *)
-      let congested = Pathlet.congested_paths t.path_table ~now:(now t) in
-      List.filteri (fun i _ -> i < 4) congested
-    else []
+    match probe with
+    | Some pr -> List.filter (fun r -> r <> pr) path
+    | None ->
+      if t.exclusion then begin
+        (* Congested and suspect pathlets; cap the list so headers stay
+           small.  Suspects must appear here even after their loss
+           signal ages out of [congested_paths], or the network would
+           steer traffic straight back onto a dead path. *)
+        let congested = Pathlet.congested_paths t.path_table ~now:(now t) in
+        let sus = Pathlet.suspects t.path_table in
+        let merged =
+          sus @ List.filter (fun r -> not (List.mem r sus)) congested
+        in
+        (* Suspects lead: they are hard-dead, congestion is advisory.
+           While a suspect is being excluded the list is a routing
+           constraint — if advisory entries then covered every live
+           pathlet too, the switch's all-excluded fallback (plain flow
+           hash) would steer traffic straight back onto the dead
+           pathlet, so congestion entries that would complete such a
+           cover are dropped.  With no suspects the full advisory list
+           goes out even when it names every known pathlet (the
+           network may have alternatives the sender cannot see). *)
+        let covers l =
+          path <> [] && List.for_all (fun r -> List.mem r l) path
+        in
+        List.fold_left
+          (fun acc r ->
+            if
+              List.length acc >= 4
+              || (sus <> [] && (not (List.mem r sus)) && covers (r :: acc))
+            then acc
+            else r :: acc)
+          [] merged
+      end
+      else []
   in
   let header =
     Wire.data ~pri:msg.tx_pri ~tc:msg.tx_tc ~cookie:msg.tx_cookie
@@ -184,13 +237,33 @@ let send_data_pkt t msg pkt_num ~rtx =
       ~pkt_len:payload ()
   in
   let charged =
-    Pathlet.best_of t.path_table (path_for t ~dst:msg.tx_dst ~tc:msg.tx_tc)
+    match probe with
+    | Some pr -> [ pr ]
+    | None -> Pathlet.best_of t.path_table path
   in
   Pathlet.charge t.path_table charged payload;
   msg.states.(pkt_num) <- Inflight { at = now t; charged; rtx };
   msg.tx_last_progress <- now t;
   if rtx then t.n_retransmits <- t.n_retransmits + 1;
   emit_header t ~dst:msg.tx_dst header
+
+(* ------------------------------------------------------------------ *)
+(* Message failure (deadline exceeded)                                  *)
+
+let fail_message t msg =
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Inflight { charged; _ } ->
+        Pathlet.discharge t.path_table charged (pkt_payload t msg i)
+      | Unsent | Lost | Acked -> ())
+    msg.states;
+  Hashtbl.remove t.tx_table msg.tx_id;
+  t.active <- List.filter (fun m -> m.tx_id <> msg.tx_id) t.active;
+  t.n_failed <- t.n_failed + 1;
+  match msg.tx_on_error with
+  | Some f -> f (now t - msg.tx_created)
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* The send pump                                                        *)
@@ -262,6 +335,16 @@ and ensure_ticker t =
 
 and check_timeouts t =
   let time = now t in
+  (* Deadline sweep first: a message past its deadline is aborted even
+     if it is merely window-blocked and could never time out. *)
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun _ msg ->
+      match msg.tx_deadline with
+      | Some d when time >= d -> dead := msg :: !dead
+      | _ -> ())
+    t.tx_table;
+  List.iter (fail_message t) !dead;
   let expired = ref [] in
   let has_inflight msg =
     Array.exists
@@ -279,27 +362,35 @@ and check_timeouts t =
             (fun acc r -> max acc (Cc.rto (Pathlet.get t.path_table r)))
             0 path
         in
-        if time - msg.tx_last_progress > rto then
-          expired := (msg, path) :: !expired
+        if time - msg.tx_last_progress > rto then expired := msg :: !expired
       end)
     t.tx_table;
   List.iter
-    (fun (msg, path) ->
+    (fun msg ->
       t.n_timeouts <- t.n_timeouts + 1;
       msg.tx_last_progress <- time;
-      (* All in-flight packets of this message are presumed lost. *)
+      (* All in-flight packets of this message are presumed lost.  The
+         loss (and the health strike) is attributed to the pathlets the
+         expired packets were actually charged to, not the whole
+         current path set — a timeout on a dead pathlet must not
+         penalise the healthy one carrying the rest of the traffic. *)
+      let blamed = ref [] in
       Array.iteri
         (fun i st ->
           match st with
           | Inflight { charged; _ } ->
             Pathlet.discharge t.path_table charged (pkt_payload t msg i);
+            List.iter
+              (fun r -> if not (List.mem r !blamed) then blamed := r :: !blamed)
+              charged;
             msg.states.(i) <- Lost;
             msg.retx <- msg.retx @ [ i ]
           | Unsent | Lost | Acked -> ())
         msg.states;
       List.iter
         (fun r -> Cc.on_loss (Pathlet.get t.path_table r) ~now:time)
-        path)
+        !blamed;
+      Pathlet.note_timeout t.path_table !blamed ~now:time)
     !expired;
   if !expired <> [] then pump t
 
@@ -367,6 +458,18 @@ let process_ack t (header : Wire.t) (pkt : Netsim.Packet.t) =
         | Inflight { at; charged; rtx } ->
           let payload = pkt_payload t msg ref_pkt in
           Pathlet.discharge t.path_table charged payload;
+          (* Forward progress clears health strikes (and any suspect
+             flag — this is how a probe revives a recovered pathlet).
+             When the ack carries path feedback, the pathlets the
+             network reported traversing get the credit: that is the
+             physical truth, whereas [charged] is only the sender's
+             steering guess — crediting the guess would both revive a
+             dead pathlet from a rerouted probe's ack and starve the
+             healthy pathlet of resets while it carries misattributed
+             blame. *)
+          let traversed = List.map fst fb_groups in
+          Pathlet.note_progress t.path_table
+            (if traversed = [] then charged else traversed);
           msg.states.(ref_pkt) <- Acked;
           msg.acked_pkts <- msg.acked_pkts + 1;
           msg.tx_last_progress <- now t;
@@ -531,17 +634,19 @@ let process_data t (header : Wire.t) (pkt : Netsim.Packet.t) =
 
 let make_endpoint ?(algo = Cc.Dctcp { g = 0.0625 }) ?init_window
     ?(mtu_payload = 1440) ?(entity = 0) ?(max_msg_bytes = max_int / 4)
-    ?(max_rx_messages = 1 lsl 20) ?(exclusion = true) ?(ack_every = 1)
-    ?(ack_delay = Engine.Time.us 10) node =
+    ?(max_rx_messages = 1 lsl 20) ?(exclusion = true) ?suspect_after
+    ?probe_interval ?(ack_every = 1) ?(ack_delay = Engine.Time.us 10) node =
   { ep_node = node; ep_sim = Netsim.Node.sim node; entity;
     mtu = mtu_payload; max_msg_bytes; max_rx_messages; exclusion;
-    path_table = Pathlet.create ?init_window ~mss:mtu_payload algo;
+    path_table =
+      Pathlet.create ?init_window ~mss:mtu_payload ?suspect_after
+        ?probe_interval algo;
     next_msg_id = 1; next_port = 30_000; tx_table = Hashtbl.create 64;
     active = []; current = Hashtbl.create 8; rx_table = Hashtbl.create 64;
     recent_done = Hashtbl.create 4096; recent_queue = Queue.create ();
     bindings = Hashtbl.create 8; ack_every = max 1 ack_every; ack_delay;
     ack_acc = Hashtbl.create 8; ticker_running = false; n_completed = 0;
-    n_delivered = 0; n_delivered_bytes = 0; n_retransmits = 0;
+    n_failed = 0; n_delivered = 0; n_delivered_bytes = 0; n_retransmits = 0;
     n_timeouts = 0; n_nacks = 0; n_rejected = 0; n_acks_tx = 0 }
 
 let concerns_us t (header : Wire.t) =
@@ -563,10 +668,12 @@ let claim t pkt =
   | _ -> false
 
 let create ?algo ?init_window ?mtu_payload ?entity ?max_msg_bytes
-    ?max_rx_messages ?exclusion ?ack_every ?ack_delay node =
+    ?max_rx_messages ?exclusion ?suspect_after ?probe_interval ?ack_every
+    ?ack_delay node =
   let t =
     make_endpoint ?algo ?init_window ?mtu_payload ?entity ?max_msg_bytes
-      ?max_rx_messages ?exclusion ?ack_every ?ack_delay node
+      ?max_rx_messages ?exclusion ?suspect_after ?probe_interval ?ack_every
+      ?ack_delay node
   in
   let previous = Netsim.Node.handler node in
   (* Multiple endpoints may coexist on one host: packets that name no
@@ -578,11 +685,12 @@ let create ?algo ?init_window ?mtu_payload ?entity ?max_msg_bytes
   t
 
 let attach ?algo ?init_window ?mtu_payload ?entity ?max_msg_bytes
-    ?max_rx_messages ?exclusion ?ack_every ?ack_delay host =
+    ?max_rx_messages ?exclusion ?suspect_after ?probe_interval ?ack_every
+    ?ack_delay host =
   let t =
     make_endpoint ?algo ?init_window ?mtu_payload ?entity ?max_msg_bytes
-      ?max_rx_messages ?exclusion ?ack_every ?ack_delay
-      (Netsim.Host.node host)
+      ?max_rx_messages ?exclusion ?suspect_after ?probe_interval ?ack_every
+      ?ack_delay (Netsim.Host.node host)
   in
   Netsim.Host.register host ~name:"mtp" (claim t);
   t
@@ -605,7 +713,7 @@ let insert_active t msg =
   t.active <- go t.active
 
 let send t ~dst ~dst_port ?src_port ?(pri = 0) ?(tc = 0) ?(cookie = 0)
-    ?(cookie2 = 0) ?on_complete ~size () =
+    ?(cookie2 = 0) ?deadline ?on_complete ?on_error ~size () =
   if size <= 0 then invalid_arg "Endpoint.send: size must be positive";
   let src_port =
     match src_port with
@@ -622,8 +730,10 @@ let send t ~dst ~dst_port ?src_port ?(pri = 0) ?(tc = 0) ?(cookie = 0)
       tx_pri = pri; tx_tc = tc; tx_size = size; tx_npkts = npkts;
       tx_cookie = cookie; tx_cookie2 = cookie2;
       states = Array.make npkts Unsent; acked_pkts = 0; scan = 0; retx = [];
-      tx_created = now t; tx_last_progress = now t;
-      tx_on_complete = on_complete }
+      tx_created = now t;
+      tx_deadline = Option.map (fun d -> now t + d) deadline;
+      tx_last_progress = now t;
+      tx_on_complete = on_complete; tx_on_error = on_error }
   in
   Hashtbl.add t.tx_table id msg;
   insert_active t msg;
@@ -633,6 +743,7 @@ let send t ~dst ~dst_port ?src_port ?(pri = 0) ?(tc = 0) ?(cookie = 0)
 let active_messages t = Hashtbl.length t.tx_table
 
 let completed t = t.n_completed
+let failed t = t.n_failed
 let delivered_messages t = t.n_delivered
 let delivered_bytes t = t.n_delivered_bytes
 let retransmits t = t.n_retransmits

@@ -37,6 +37,8 @@ val create :
   ?max_msg_bytes:int ->
   ?max_rx_messages:int ->
   ?exclusion:bool ->
+  ?suspect_after:int ->
+  ?probe_interval:Engine.Time.t ->
   ?ack_every:int ->
   ?ack_delay:Engine.Time.t ->
   Netsim.Node.t ->
@@ -47,7 +49,12 @@ val create :
     bytes per packet.  [max_msg_bytes] / [max_rx_messages] bound
     receiver state (messages beyond them are rejected and counted).
     With [exclusion] (default true), data headers list recently
-    congested pathlets in the path-exclude field.
+    congested and suspect pathlets in the path-exclude field.
+
+    [suspect_after] / [probe_interval] control pathlet failover (see
+    {!Pathlet.create}): after that many consecutive RTOs a pathlet is
+    excluded from steering, then probed with one data packet per
+    interval until an ack revives it.
 
     [ack_every] (default 1 = acknowledge every packet) enables
     feedback aggregation (paper §4): SACK entries towards a source are
@@ -63,6 +70,8 @@ val attach :
   ?max_msg_bytes:int ->
   ?max_rx_messages:int ->
   ?exclusion:bool ->
+  ?suspect_after:int ->
+  ?probe_interval:Engine.Time.t ->
   ?ack_every:int ->
   ?ack_delay:Engine.Time.t ->
   Netsim.Host.t ->
@@ -91,14 +100,21 @@ val send :
   ?tc:int ->
   ?cookie:int ->
   ?cookie2:int ->
+  ?deadline:Engine.Time.t ->
   ?on_complete:(Engine.Time.t -> unit) ->
+  ?on_error:(Engine.Time.t -> unit) ->
   size:int ->
   unit ->
   int
 (** Queue a message; returns its id.  [pri] (default 0, lower = more
     urgent) orders concurrent messages at the sender and in priority
     queues.  [on_complete] receives the flow completion time (send
-    to last-ACK).  [size] must be positive. *)
+    to last-ACK).  With [deadline] (relative to the send time), a
+    message still unacknowledged when it expires is aborted: its
+    flight is discharged, state is dropped, and [on_error] (if any)
+    receives the elapsed time — the message-level failure surface for
+    applications that must not wait forever.  [size] must be
+    positive. *)
 
 val pathlets : t -> Pathlet.t
 (** The endpoint's pathlet table (inspection / per-pathlet algorithm
@@ -115,6 +131,9 @@ val current_path : t -> dst:Netsim.Packet.addr -> Wire.path_ref list
 
 val completed : t -> int
 (** Messages fully acknowledged at the sender. *)
+
+val failed : t -> int
+(** Messages aborted by their deadline. *)
 
 val delivered_messages : t -> int
 val delivered_bytes : t -> int

@@ -1,14 +1,32 @@
+(* Per-pathlet health: consecutive-RTO counter and suspect flag.  A
+   pathlet that times out [suspect_after] times in a row with no
+   forward progress is declared suspect and excluded from steering
+   until a periodic probe (a real data packet routed over it) is
+   acked, which clears the flag via [note_progress]. *)
+type health = {
+  mutable consec_rto : int;
+  mutable suspect : bool;
+  mutable suspect_since : Engine.Time.t;
+  mutable last_probe : Engine.Time.t;
+}
+
 type t = {
   default_algo : Cc.algo;
   init_window : int option;
   mss : int;
+  suspect_after : int;
+  probe_interval : Engine.Time.t;
   table : (int * int, Cc.t) Hashtbl.t;
   flight : (int * int, int ref) Hashtbl.t;
+  health : (int * int, health) Hashtbl.t;
+  mutable n_suspect : int;
 }
 
-let create ?init_window ?(mss = 1440) algo =
-  { default_algo = algo; init_window; mss; table = Hashtbl.create 8;
-    flight = Hashtbl.create 8 }
+let create ?init_window ?(mss = 1440) ?(suspect_after = 3)
+    ?(probe_interval = Engine.Time.us 500) algo =
+  { default_algo = algo; init_window; mss; suspect_after; probe_interval;
+    table = Hashtbl.create 8; flight = Hashtbl.create 8;
+    health = Hashtbl.create 8; n_suspect = 0 }
 
 let key (r : Wire.path_ref) = (r.Wire.path_id, r.Wire.path_tc)
 
@@ -46,17 +64,117 @@ let discharge t refs bytes =
       f := max 0 (!f - bytes))
     refs
 
+(* ------------------------- suspect tracking ------------------------ *)
+
+let health_ref t r =
+  let k = key r in
+  match Hashtbl.find_opt t.health k with
+  | Some h -> h
+  | None ->
+    let h =
+      { consec_rto = 0; suspect = false; suspect_since = 0; last_probe = 0 }
+    in
+    Hashtbl.add t.health k h;
+    h
+
+let suspect t r =
+  match Hashtbl.find_opt t.health (key r) with
+  | Some h -> h.suspect
+  | None -> false
+
+let strikes t r =
+  match Hashtbl.find_opt t.health (key r) with
+  | Some h -> h.consec_rto
+  | None -> 0
+
+let note_timeout t refs ~now =
+  List.iter
+    (fun r ->
+      let h = health_ref t r in
+      h.consec_rto <- h.consec_rto + 1;
+      if h.consec_rto >= t.suspect_after && not h.suspect then begin
+        h.suspect <- true;
+        h.suspect_since <- now;
+        (* First probe only after a full interval: the pathlet just
+           proved dead, give it time before spending a packet on it. *)
+        h.last_probe <- now;
+        t.n_suspect <- t.n_suspect + 1
+      end)
+    refs
+
+let note_progress t refs =
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt t.health (key r) with
+      | None -> ()
+      | Some h ->
+        h.consec_rto <- 0;
+        if h.suspect then begin
+          h.suspect <- false;
+          t.n_suspect <- t.n_suspect - 1
+        end)
+    refs
+
+let suspects t =
+  if t.n_suspect = 0 then []
+  else
+    Hashtbl.fold
+      (fun (path_id, path_tc) h acc ->
+        if h.suspect then { Wire.path_id; path_tc } :: acc else acc)
+      t.health []
+
+(* Candidates come from the whole health table, not the caller's live
+   path list: a dead pathlet ages out of the per-destination path set
+   (no acks name it), so the live list is exactly where a suspect
+   never appears. *)
+let probe_target t ~now =
+  if t.n_suspect = 0 then None
+  else
+    Hashtbl.fold
+      (fun (path_id, path_tc) h acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if h.suspect && now - h.last_probe >= t.probe_interval then begin
+            h.last_probe <- now;
+            Some { Wire.path_id; path_tc }
+          end
+          else None)
+      t.health None
+
+(* -------------------------- steering views ------------------------- *)
+
+(* Suspect pathlets are invisible to steering — unless every offered
+   pathlet is suspect, in which case filtering would wedge the sender,
+   so we fall back to the unfiltered view and let probing sort it out.
+   The [n_suspect = 0] fast path keeps the common (healthy) case
+   allocation-free and branch-cheap. *)
+
+let all_suspect t refs =
+  refs <> [] && List.for_all (fun r -> suspect t r) refs
+
 let headroom t refs =
+  let live =
+    if t.n_suspect = 0 || all_suspect t refs then refs
+    else List.filter (fun r -> not (suspect t r)) refs
+  in
   List.fold_left
     (fun acc r -> min acc (Cc.window (get t r) - inflight t r))
-    max_int refs
+    max_int live
 
 let headroom_sum t refs =
+  let skip_suspects = t.n_suspect > 0 && not (all_suspect t refs) in
   List.fold_left
-    (fun acc r -> acc + max 0 (Cc.window (get t r) - inflight t r))
+    (fun acc r ->
+      if skip_suspects && suspect t r then acc
+      else acc + max 0 (Cc.window (get t r) - inflight t r))
     0 refs
 
 let best_of t refs =
+  let refs =
+    if t.n_suspect = 0 || all_suspect t refs then refs
+    else List.filter (fun r -> not (suspect t r)) refs
+  in
   match refs with
   | [] -> []
   | first :: _ ->

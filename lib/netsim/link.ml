@@ -5,7 +5,13 @@
    Deliveries are FIFO because transmit completions are monotonic in
    time and the propagation delay is constant, so the shared deliver
    closure always pops the oldest in-flight packet — forwarding a
-   packet allocates nothing in the link itself. *)
+   packet allocates nothing in the link itself.
+
+   Links can fail ([set_down]/[set_up]): a down link refuses new
+   packets, flushes its queue, loses the packet being serialised and
+   any still propagating, and pauses the transmitter until revived.
+   All fault-induced losses are counted in [fault_drops] so a
+   conservation audit can account for every packet. *)
 
 type t = {
   sim : Engine.Sim.t;
@@ -16,8 +22,11 @@ type t = {
   mutable dst : (Packet.t -> unit) option;
   mutable taps : (Engine.Time.t -> Packet.t -> unit) list; (* forward order *)
   mutable transmitting : bool;
+  mutable up : bool;
   mutable sent_bytes : int;
+  mutable n_fault_drops : int;
   mutable cur : Packet.t;
+  mutable tx_ev : Engine.Sim.handle option;
   flight : Pktring.t;
   pool : Packet.pool option;
   mutable on_tx_done : unit -> unit;
@@ -30,6 +39,10 @@ let deliver t p =
   | Some handler -> handler p
   | None -> failwith ("Link " ^ t.link_name ^ ": destination not wired")
 
+let drop_faulted t p =
+  t.n_fault_drops <- t.n_fault_drops + 1;
+  match t.pool with Some pool -> Packet.release pool p | None -> ()
+
 let rec transmit_next t =
   match t.q.Qdisc.dequeue () with
   | None ->
@@ -39,11 +52,12 @@ let rec transmit_next t =
     t.transmitting <- true;
     t.cur <- p;
     let tx = Engine.Time.tx_time ~bytes:p.Packet.size ~rate:t.link_rate in
-    ignore (Engine.Sim.after t.sim tx t.on_tx_done)
+    t.tx_ev <- Some (Engine.Sim.after t.sim tx t.on_tx_done)
 
 and tx_done t =
   let p = t.cur in
   t.cur <- Packet.none;
+  t.tx_ev <- None;
   t.sent_bytes <- t.sent_bytes + p.Packet.size;
   Pktring.push t.flight p;
   ignore (Engine.Sim.after t.sim t.link_delay t.on_deliver);
@@ -53,12 +67,19 @@ let create sim ~name ~rate ~delay ?qdisc ?pool () =
   let q = match qdisc with Some q -> q | None -> Qdisc.fifo ~cap_pkts:1000 () in
   let t =
     { sim; link_name = name; link_rate = rate; link_delay = delay; q;
-      dst = None; taps = []; transmitting = false; sent_bytes = 0;
-      cur = Packet.none; flight = Pktring.create (); pool;
+      dst = None; taps = []; transmitting = false; up = true; sent_bytes = 0;
+      n_fault_drops = 0; cur = Packet.none; tx_ev = None;
+      flight = Pktring.create (); pool;
       on_tx_done = ignore; on_deliver = ignore }
   in
   t.on_tx_done <- (fun () -> tx_done t);
-  t.on_deliver <- (fun () -> deliver t (Pktring.pop t.flight));
+  t.on_deliver <-
+    (fun () ->
+      (* Packets still propagating when the link went down are lost
+         with it (the delivery event fires regardless, to keep the
+         flight ring in order). *)
+      let p = Pktring.pop t.flight in
+      if t.up then deliver t p else drop_faulted t p);
   t
 
 let set_dst t handler = t.dst <- Some handler
@@ -66,7 +87,8 @@ let set_dst t handler = t.dst <- Some handler
 let add_tap t f = t.taps <- t.taps @ [ f ]
 
 let send t p =
-  if t.q.Qdisc.enqueue p then begin
+  if not t.up then drop_faulted t p
+  else if t.q.Qdisc.enqueue p then begin
     if not t.transmitting then transmit_next t
   end
   else
@@ -77,14 +99,55 @@ let qdisc t = t.q
 
 let set_qdisc t q = t.q <- q
 
+let is_up t = t.up
+
+let set_down t =
+  if t.up then begin
+    t.up <- false;
+    (* Abort the serialisation in progress. *)
+    (match t.tx_ev with
+    | Some ev ->
+      Engine.Sim.cancel t.sim ev;
+      t.tx_ev <- None
+    | None -> ());
+    if t.cur != Packet.none then begin
+      drop_faulted t t.cur;
+      t.cur <- Packet.none
+    end;
+    t.transmitting <- false;
+    (* Flush the queue: a dead link holds no packets. *)
+    let rec flush () =
+      match t.q.Qdisc.dequeue () with
+      | Some p ->
+        drop_faulted t p;
+        flush ()
+      | None -> ()
+    in
+    flush ()
+  end
+
+let set_up t =
+  if not t.up then begin
+    t.up <- true;
+    if not t.transmitting then transmit_next t
+  end
+
 let rate t = t.link_rate
 let delay t = t.link_delay
 let name t = t.link_name
 let bytes_sent t = t.sent_bytes
 let busy t = t.transmitting
+let fault_drops t = t.n_fault_drops
+
+let queued_pkts t = t.q.Qdisc.pkt_length ()
+
+let in_flight_pkts t =
+  Pktring.length t.flight + if t.transmitting then 1 else 0
 
 let utilization t ~since =
   let elapsed = Engine.Sim.now t.sim - since in
+  (* Guard: [since = now] (or a future [since]) yields no elapsed time
+     to average over — report zero rather than dividing by it. *)
   if elapsed <= 0 then 0.0
   else
     float_of_int (t.sent_bytes * 8)

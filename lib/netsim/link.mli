@@ -43,6 +43,29 @@ val set_qdisc : t -> Qdisc.t -> unit
     hooks).  Pending packets in the old qdisc are not migrated; do this
     at setup time. *)
 
+val is_up : t -> bool
+
+val set_down : t -> unit
+(** Fail the link: the in-progress serialisation is aborted, queued
+    packets are flushed, and packets still propagating are lost on
+    arrival.  Every packet lost this way is counted in {!fault_drops}
+    and released back to the pool (when the link has one).  While down,
+    {!send} drops immediately.  Idempotent. *)
+
+val set_up : t -> unit
+(** Revive a failed link; the transmitter resumes draining the qdisc.
+    Idempotent. *)
+
+val fault_drops : t -> int
+(** Packets lost to {!set_down} (aborted, flushed, in-flight at
+    failure, or sent while down). *)
+
+val queued_pkts : t -> int
+(** Packets currently waiting in the qdisc. *)
+
+val in_flight_pkts : t -> int
+(** Packets serialising or propagating on the wire right now. *)
+
 val rate : t -> Engine.Time.rate
 val delay : t -> Engine.Time.t
 val name : t -> string
@@ -56,4 +79,5 @@ val busy : t -> bool
 val utilization : t -> since:Engine.Time.t -> float
 (** Fraction of capacity used between [since] and now, from
     {!bytes_sent} deltas (callers snapshot bytes themselves for finer
-    accounting); computed as sent bits / (rate * elapsed). *)
+    accounting); computed as sent bits / (rate * elapsed).  Returns 0.0
+    when [since] is at or past the current sim time. *)

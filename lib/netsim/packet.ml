@@ -42,6 +42,7 @@ type pool = {
   mutable free_len : int;
   mutable fresh : int;
   mutable reused : int;
+  mutable released : int;
 }
 
 let pool ?(capacity = 64) sim =
@@ -49,10 +50,12 @@ let pool ?(capacity = 64) sim =
     free = Array.make (max 1 capacity) none;
     free_len = 0;
     fresh = 0;
-    reused = 0 }
+    reused = 0;
+    released = 0 }
 
 let release p pkt =
   if pkt != none then begin
+    p.released <- p.released + 1;
     (* Drop the payload so a parked packet retains no protocol state. *)
     pkt.payload <- Raw;
     if p.free_len = Array.length p.free then begin
@@ -94,6 +97,10 @@ let recycle ?(entity = 0) ?(prio = 0) ?(flow_hash = 0) ?(payload = Raw) p ~src
 let pool_free p = p.free_len
 
 let pool_stats p = (p.fresh, p.reused)
+
+(* Checked out through the pool and not yet released.  Packets made
+   with [make] directly (bypassing [recycle]) are invisible here. *)
+let pool_live p = p.fresh + p.reused - p.released
 
 (* FNV-1a over the four tuple components: stable across runs, well
    spread in the low bits used for ECMP modulo. *)

@@ -86,6 +86,11 @@ val pool_free : pool -> int
 val pool_stats : pool -> int * int
 (** [(fresh, reused)] allocation counters for bench reporting. *)
 
+val pool_live : pool -> int
+(** Packets checked out via {!recycle} and not yet {!release}d — the
+    population a conservation audit must find in queues and on wires.
+    Packets created with {!make} directly are not counted. *)
+
 val flow_hash_of : src:addr -> dst:addr -> src_port:int -> dst_port:int -> int
 (** Deterministic 5-tuple-style hash for ECMP. *)
 

@@ -1,17 +1,59 @@
 type t = {
-  table : (Packet.addr, int array) Hashtbl.t;
+  table : (Packet.addr, int array) Hashtbl.t; (* all registrations *)
+  effective : (Packet.addr, int array) Hashtbl.t; (* minus removed ports *)
+  removed : (int, unit) Hashtbl.t;
   spray_counters : (Packet.addr, int ref) Hashtbl.t;
 }
 
-let create () = { table = Hashtbl.create 16; spray_counters = Hashtbl.create 16 }
+let create () =
+  { table = Hashtbl.create 16;
+    effective = Hashtbl.create 16;
+    removed = Hashtbl.create 4;
+    spray_counters = Hashtbl.create 16 }
+
+(* Removal/restoration is a rare control-plane event (a reconvergence),
+   so we rebuild the effective table eagerly and keep the per-packet
+   lookup a single allocation-free Hashtbl hit. *)
+let rebuild t =
+  Hashtbl.reset t.effective;
+  Hashtbl.iter
+    (fun dst ports ->
+      let live =
+        Array.of_list
+          (List.filter
+             (fun p -> not (Hashtbl.mem t.removed p))
+             (Array.to_list ports))
+      in
+      Hashtbl.replace t.effective dst live)
+    t.table
 
 let add t dst port =
   let existing =
     match Hashtbl.find_opt t.table dst with Some a -> a | None -> [||]
   in
-  Hashtbl.replace t.table dst (Array.append existing [| port |])
+  Hashtbl.replace t.table dst (Array.append existing [| port |]);
+  if Hashtbl.length t.removed = 0 then
+    Hashtbl.replace t.effective dst (Hashtbl.find t.table dst)
+  else rebuild t
+
+let remove_port t port =
+  if not (Hashtbl.mem t.removed port) then begin
+    Hashtbl.add t.removed port ();
+    rebuild t
+  end
+
+let restore_port t port =
+  if Hashtbl.mem t.removed port then begin
+    Hashtbl.remove t.removed port;
+    rebuild t
+  end
+
+let port_removed t port = Hashtbl.mem t.removed port
 
 let ports_for t dst =
+  match Hashtbl.find_opt t.effective dst with Some a -> a | None -> [||]
+
+let registered_ports_for t dst =
   match Hashtbl.find_opt t.table dst with Some a -> a | None -> [||]
 
 let static t p =

@@ -13,7 +13,21 @@ val add : t -> Packet.addr -> int -> unit
     make the destination multipath. *)
 
 val ports_for : t -> Packet.addr -> int array
-(** Ports registered for a destination (empty when unknown). *)
+(** Live ports for a destination: registrations minus removed ports
+    (empty when unknown). *)
+
+val registered_ports_for : t -> Packet.addr -> int array
+(** All registrations for a destination, ignoring removals. *)
+
+val remove_port : t -> int -> unit
+(** Withdraw an egress port from every destination, as a routing
+    reconvergence would after a link failure is detected.  Selectors
+    stop returning it until {!restore_port}.  Idempotent. *)
+
+val restore_port : t -> int -> unit
+(** Re-announce a previously removed port.  Idempotent. *)
+
+val port_removed : t -> int -> bool
 
 val static : t -> Packet.t -> Switch.action
 (** Always the first registered port; [Drop] when unknown. *)

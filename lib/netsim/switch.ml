@@ -21,6 +21,7 @@ let create sim ~name ?pool () =
 
 let name t = t.switch_name
 let sim t = t.sim
+let pool t = t.pool
 
 let add_port t link =
   t.ports <- Array.append t.ports [| link |];

@@ -25,6 +25,9 @@ val create : Engine.Sim.t -> name:string -> ?pool:Packet.pool -> unit -> t
 val name : t -> string
 val sim : t -> Engine.Sim.t
 
+val pool : t -> Packet.pool option
+(** The pool dropped packets are released to, if any. *)
+
 val add_port : t -> Link.t -> int
 (** Register an egress link; returns its port number. *)
 

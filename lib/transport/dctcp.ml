@@ -9,14 +9,14 @@ type conn = Tcp.conn
 let default_g = 0.0625 (* 1/16, per RFC 8257 *)
 
 let install ?(g = default_g) ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto
-    ?entity node =
+    ?max_retries ?entity node =
   Tcp.install ~cc:(Tcp.Dctcp { g }) ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts
-    ?min_rto ?entity node
+    ?min_rto ?max_retries ?entity node
 
 let attach ?(g = default_g) ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto
-    ?entity host =
+    ?max_retries ?entity host =
   Tcp.attach ~cc:(Tcp.Dctcp { g }) ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts
-    ?min_rto ?entity host
+    ?min_rto ?max_retries ?entity host
 
 module Messaging = struct
   include Tcp.Messaging

@@ -16,6 +16,7 @@ val install :
   ?snd_buf:int ->
   ?init_cwnd_pkts:int ->
   ?min_rto:Engine.Time.t ->
+  ?max_retries:int ->
   ?entity:int ->
   Netsim.Node.t ->
   t
@@ -27,6 +28,7 @@ val attach :
   ?snd_buf:int ->
   ?init_cwnd_pkts:int ->
   ?min_rto:Engine.Time.t ->
+  ?max_retries:int ->
   ?entity:int ->
   Netsim.Host.t ->
   t

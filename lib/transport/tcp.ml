@@ -44,6 +44,9 @@ type conn = {
   mutable buffered : int; (* delivered but unread *)
   mutable auto_read : bool;
   (* --- callbacks & accounting --- *)
+  mutable consec_rtos : int; (* RTOs since last forward progress *)
+  mutable c_aborted : bool;
+  mutable on_error : (conn -> unit) option;
   mutable on_data : (conn -> int -> unit) option;
   mutable on_close : (conn -> unit) option;
   mutable on_peer_fin : (conn -> unit) option;
@@ -65,6 +68,7 @@ and t = {
   t_snd_buf : int; (* flight cap: models the socket send buffer *)
   t_init_cwnd : int; (* bytes *)
   t_min_rto : Engine.Time.t;
+  t_max_retries : int;
   t_entity : int;
   conns : (int * int * int, conn) Hashtbl.t; (* local_port, peer, rport *)
   listeners : (int, int * (conn -> unit)) Hashtbl.t; (* rcv_buf, accept *)
@@ -119,17 +123,45 @@ let rec arm_rto conn =
 
 and on_rto conn =
   if outstanding conn && conn.state <> Closed then begin
-    conn.n_timeouts <- conn.n_timeouts + 1;
-    let mss = float_of_int conn.stack.t_mss in
-    let flight = float_of_int (conn.snd_nxt - conn.snd_una) in
-    conn.ssthresh <- Float.max (flight /. 2.0) (2.0 *. mss);
-    conn.cwnd <- mss;
-    conn.recover <- conn.snd_nxt;
-    conn.reduce_end <- conn.snd_nxt;
-    conn.dupacks <- 0;
-    Rtx.backoff conn.rtx;
-    retransmit_head conn;
-    arm_rto conn
+    if conn.consec_rtos >= conn.stack.t_max_retries then abort_conn conn
+    else begin
+      conn.consec_rtos <- conn.consec_rtos + 1;
+      conn.n_timeouts <- conn.n_timeouts + 1;
+      let mss = float_of_int conn.stack.t_mss in
+      let flight = float_of_int (conn.snd_nxt - conn.snd_una) in
+      conn.ssthresh <- Float.max (flight /. 2.0) (2.0 *. mss);
+      conn.cwnd <- mss;
+      conn.recover <- conn.snd_nxt;
+      conn.reduce_end <- conn.snd_nxt;
+      conn.dupacks <- 0;
+      Rtx.backoff conn.rtx;
+      retransmit_head conn;
+      arm_rto conn
+    end
+  end
+
+(* Too many consecutive RTOs with no forward progress: the peer (or
+   the path) is gone.  Tear the connection down and tell the
+   application via [on_error] — a real stack would return ETIMEDOUT.
+   Duplicates the stall accounting of [note_unstalled], which is
+   defined in a later recursion group. *)
+and abort_conn conn =
+  if conn.state <> Closed then begin
+    let time = Engine.Sim.now conn.stack.t_sim in
+    conn.state <- Closed;
+    conn.c_aborted <- true;
+    conn.c_closed_at <- Some time;
+    (match conn.stall_since with
+    | Some since ->
+      conn.stall_total <- conn.stall_total + (time - since);
+      conn.stall_since <- None
+    | None -> ());
+    Engine.Sim.disarm conn.rto_tm;
+    conn.rto_set <- false;
+    Engine.Sim.disarm conn.persist_tm;
+    Hashtbl.remove conn.stack.conns
+      (conn.local_port, conn.peer, conn.remote_port);
+    match conn.on_error with Some f -> f conn | None -> ()
   end
 
 (* Rebuild and resend the segment at [snd_una].  Original segment
@@ -313,6 +345,7 @@ let process_ack conn (seg : Tcp_wire.t) =
     if was_in_recovery && not (in_recovery conn) then
       conn.cwnd <- Float.max (2.0 *. mssf conn) conn.ssthresh;
     conn.dupacks <- 0;
+    conn.consec_rtos <- 0;
     Rtx.reset_backoff conn.rtx;
     if conn.timed_seq >= 0 && seg.ack >= conn.timed_seq then begin
       Rtx.observe conn.rtx
@@ -439,7 +472,8 @@ let make_conn stack ~peer ~local_port ~remote_port ~rcv_buf ~state =
          avoiding the slow-start overshoot a zero alpha would allow. *)
       alpha = 1.0; ce_window_end = 1; acked_win = 0; marked_win = 0;
       rcv_nxt = 0; ooo = []; remote_fin_seq = -1; peer_fin_done = false;
-      delivered = 0; buffered = 0; auto_read = true; on_data = None;
+      delivered = 0; buffered = 0; auto_read = true;
+      consec_rtos = 0; c_aborted = false; on_error = None; on_data = None;
       on_close = None; on_peer_fin = None; on_drain = None;
       n_retransmits = 0; n_timeouts = 0;
       c_opened_at = Engine.Sim.now stack.t_sim; c_closed_at = None;
@@ -502,13 +536,13 @@ let handle_segment stack (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
       end
 
 let make_stack ?(cc = Reno) ?(mss = 1460) ?rcv_buf ?snd_buf
-    ?(init_cwnd_pkts = 10) ?(min_rto = Engine.Time.us 50) ?(entity = 0) node
-    =
+    ?(init_cwnd_pkts = 10) ?(min_rto = Engine.Time.us 50) ?(max_retries = 15)
+    ?(entity = 0) node =
   { t_node = node; t_sim = Netsim.Node.sim node; t_cc = cc; t_mss = mss;
     t_rcv_buf = (match rcv_buf with Some b -> b | None -> infinite);
     t_snd_buf = (match snd_buf with Some b -> b | None -> infinite);
     t_init_cwnd = init_cwnd_pkts * mss; t_min_rto = min_rto;
-    t_entity = entity; conns = Hashtbl.create 32;
+    t_max_retries = max_retries; t_entity = entity; conns = Hashtbl.create 32;
     listeners = Hashtbl.create 4; next_port = 10_000;
     t_tx_msgs = 0; t_rx_msgs = 0; t_rx_bytes = 0; t_retx = 0 }
 
@@ -525,10 +559,11 @@ let claim stack pkt =
     true
   | _ -> false
 
-let install ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?entity node =
+let install ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?max_retries
+    ?entity node =
   let stack =
-    make_stack ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?entity
-      node
+    make_stack ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto
+      ?max_retries ?entity node
   in
   let previous = Netsim.Node.handler node in
   (* Multiple stacks may coexist on one host (e.g. a host that is both
@@ -540,10 +575,11 @@ let install ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?entity node =
         match previous with Some h -> h pkt | None -> ());
   stack
 
-let attach ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?entity host =
+let attach ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?max_retries
+    ?entity host =
   let stack =
-    make_stack ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto ?entity
-      (Netsim.Host.node host)
+    make_stack ?cc ?mss ?rcv_buf ?snd_buf ?init_cwnd_pkts ?min_rto
+      ?max_retries ?entity (Netsim.Host.node host)
   in
   Netsim.Host.register host ~name:"tcp" (claim stack);
   stack
@@ -594,6 +630,7 @@ let set_on_data conn f = conn.on_data <- Some f
 let set_on_drain conn f = conn.on_drain <- Some f
 let set_on_close conn f = conn.on_close <- Some f
 let set_on_peer_fin conn f = conn.on_peer_fin <- Some f
+let set_on_error conn f = conn.on_error <- Some f
 
 let bytes_delivered conn = conn.delivered
 let rx_buffered conn = conn.buffered
@@ -606,6 +643,7 @@ let retransmits conn = conn.n_retransmits
 let timeouts conn = conn.n_timeouts
 let peer_rwnd conn = conn.peer_rwnd
 let is_open conn = conn.state <> Closed
+let aborted conn = conn.c_aborted
 let opened_at conn = conn.c_opened_at
 let closed_at conn = conn.c_closed_at
 let mss conn = conn.stack.t_mss

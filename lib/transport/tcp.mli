@@ -33,6 +33,7 @@ val install :
   ?snd_buf:int ->
   ?init_cwnd_pkts:int ->
   ?min_rto:Engine.Time.t ->
+  ?max_retries:int ->
   ?entity:int ->
   Netsim.Node.t ->
   t
@@ -41,7 +42,10 @@ val install :
     receive buffer for new connections; [snd_buf] (default unbounded)
     caps bytes in flight like a kernel's socket send buffer — without
     it, slow start over a deep local queue can overshoot
-    catastrophically; [entity] tags every packet for per-entity network
+    catastrophically; [max_retries] (default 15, the Linux
+    [tcp_retries2] value) aborts a connection after that many
+    consecutive RTOs with no forward progress ({!set_on_error} /
+    {!aborted}); [entity] tags every packet for per-entity network
     policies.  [mss] defaults to 1460 payload bytes. *)
 
 val attach :
@@ -51,6 +55,7 @@ val attach :
   ?snd_buf:int ->
   ?init_cwnd_pkts:int ->
   ?min_rto:Engine.Time.t ->
+  ?max_retries:int ->
   ?entity:int ->
   Netsim.Host.t ->
   t
@@ -109,6 +114,10 @@ val set_on_drain : conn -> (conn -> unit) -> unit
     application buffer for the wire) — back-pressure signal for
     relaying applications such as the proxy. *)
 
+val set_on_error : conn -> (conn -> unit) -> unit
+(** The connection was aborted after [max_retries] consecutive RTOs
+    (the simulator's ETIMEDOUT). *)
+
 (** {1 Inspection} *)
 
 val bytes_delivered : conn -> int
@@ -130,6 +139,10 @@ val retransmits : conn -> int
 val timeouts : conn -> int
 val peer_rwnd : conn -> int
 val is_open : conn -> bool
+
+val aborted : conn -> bool
+(** Whether the connection died of max-retry exhaustion. *)
+
 val opened_at : conn -> Engine.Time.t
 val closed_at : conn -> Engine.Time.t option
 val mss : conn -> int

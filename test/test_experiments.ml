@@ -265,6 +265,39 @@ let test_csv_export () =
   List.iter Sys.remove written;
   Sys.rmdir dir
 
+let test_failover_shapes () =
+  (* Full-rate fabric, shortened timeline: the packet-level dynamics
+     (RTO-scale suspicion vs ms-scale reconvergence) are preserved,
+     the run is roughly halved. *)
+  let config =
+    { Experiments.Ext_failover.default with
+      Experiments.Ext_failover.t_fail = Engine.Time.ms 5;
+      detect = Engine.Time.ms 3;
+      t_restore = Engine.Time.ms 11;
+      duration = Engine.Time.ms 16 }
+  in
+  let o = Experiments.Ext_failover.run ~config () in
+  checki "four schemes" 4 (List.length o.Experiments.Ext_failover.schemes);
+  List.iter
+    (fun s ->
+      checkb
+        (s.Experiments.Ext_failover.s_label ^ ": carried traffic pre-failure")
+        true
+        (s.Experiments.Ext_failover.s_pre_gbps > 1.0))
+    o.Experiments.Ext_failover.schemes;
+  let recovery label =
+    match Experiments.Ext_failover.recovery_of o label with
+    | Some t -> t
+    | None -> Alcotest.failf "%s never recovered within the run" label
+  in
+  let tcp = recovery "TCP" in
+  let mtp_excl = recovery "MTP (pathlet exclusion)" in
+  (* The paper's core robustness claim: pathlet exclusion reroutes at
+     RTO scale, well before routing reconvergence pulls TCP back up. *)
+  checkb "mtp exclusion strictly faster than tcp" true (mtp_excl < tcp);
+  checkb "mtp exclusion beats the reconvergence delay" true
+    (mtp_excl < config.Experiments.Ext_failover.detect)
+
 let test_mean_between () =
   let ts = Stats.Timeseries.create () in
   for i = 1 to 10 do
@@ -290,6 +323,7 @@ let suite =
     Alcotest.test_case "ablation exclusion" `Slow
       test_ablation_exclusion_shape;
     Alcotest.test_case "coexistence" `Slow test_coexistence_shape;
+    Alcotest.test_case "failover recovery" `Slow test_failover_shapes;
     Alcotest.test_case "header overhead" `Quick test_header_overhead_model;
     Alcotest.test_case "csv export" `Quick test_csv_export;
     Alcotest.test_case "mean_between" `Quick test_mean_between ]

@@ -1,0 +1,348 @@
+(* Fault injection: link up/down semantics, seeded loss processes,
+   blackholes, routing reconvergence, the packet-conservation audit,
+   and transport-side failure handling (MTP pathlet suspects and
+   probes, message deadlines, TCP max-retry aborts).
+
+   Every test here finishes with a {!Fault.audit}: fault paths must
+   never leak pooled packets. *)
+
+open Netsim
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let audit_ok ?links ?held ~pool () =
+  match Fault.audit ?links ?held ~pool () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* One pooled link feeding a counter, every delivery released back. *)
+let pooled_link ?(rate = Engine.Time.gbps 1) ?(delay = Engine.Time.us 1)
+    ?qdisc () =
+  let sim = Engine.Sim.create () in
+  let pool = Packet.pool sim in
+  let link = Link.create sim ~name:"l" ~rate ~delay ?qdisc ~pool () in
+  let delivered = ref 0 in
+  Link.set_dst link (fun p ->
+      incr delivered;
+      Packet.release pool p);
+  (sim, pool, link, delivered)
+
+let send_one pool link = Link.send link (Packet.recycle pool ~src:0 ~dst:1 ~size:1500 ())
+
+(* --------------------------- link faults --------------------------- *)
+
+let test_link_down_drops_and_up_resumes () =
+  (* 1500 B at 1 Gbps serialises in 12 us: at t=30us two packets have
+     delivered, one is on the wire, the rest are queued. *)
+  let sim, pool, link, delivered = pooled_link () in
+  for _ = 1 to 10 do
+    send_one pool link
+  done;
+  Engine.Sim.run ~until:(Engine.Time.us 30) sim;
+  checkb "starts up" true (Link.is_up link);
+  Link.set_down link;
+  checkb "reports down" false (Link.is_up link);
+  let before = !delivered in
+  checkb "made some progress first" true (before > 0);
+  (* Sending into a down link destroys the packet immediately. *)
+  send_one pool link;
+  Engine.Sim.run ~until:(Engine.Time.ms 1) sim;
+  checki "no deliveries while down" before !delivered;
+  checki "queue flushed" 0 (Link.queued_pkts link);
+  checki "wire empty" 0 (Link.in_flight_pkts link);
+  checki "every lost packet counted" (10 + 1 - before) (Link.fault_drops link);
+  audit_ok ~links:[ link ] ~pool ();
+  Link.set_up link;
+  send_one pool link;
+  Engine.Sim.run ~until:(Engine.Time.ms 2) sim;
+  checki "delivery resumes after set_up" (before + 1) !delivered;
+  audit_ok ~links:[ link ] ~pool ()
+
+let test_fault_plan_schedules_and_logs () =
+  let sim, pool, link, _ = pooled_link () in
+  let fault = Fault.plan ~seed:3 sim in
+  Fault.link_down fault ~at:(Engine.Time.us 100) link;
+  Fault.link_up fault ~at:(Engine.Time.us 300) link;
+  Engine.Sim.run ~until:(Engine.Time.us 200) sim;
+  checkb "down after scheduled failure" false (Link.is_up link);
+  Engine.Sim.run ~until:(Engine.Time.us 400) sim;
+  checkb "up after scheduled repair" true (Link.is_up link);
+  checki "both transitions logged" 2 (List.length (Fault.events fault));
+  audit_ok ~links:[ link ] ~pool ()
+
+(* --------------------------- loss processes ------------------------ *)
+
+let ge_run seed =
+  let sim, pool, link, delivered =
+    pooled_link ~rate:(Engine.Time.gbps 10) ()
+  in
+  let fault = Fault.plan ~seed sim in
+  Fault.gilbert_elliott fault ~p_gb:0.05 ~p_bg:0.2 ~loss_bad:0.5 link;
+  let sent = ref 0 in
+  ignore
+    (Engine.Sim.periodic sim ~interval:(Engine.Time.us 2) (fun () ->
+         send_one pool link;
+         incr sent;
+         !sent < 1000));
+  Engine.Sim.run sim;
+  audit_ok ~links:[ link ] ~pool ();
+  (Fault.loss_drops fault, !delivered)
+
+let test_gilbert_elliott_lossy_and_deterministic () =
+  let drops, delivered = ge_run 11 in
+  checkb "bursty loss happened" true (drops > 0);
+  checki "conservation: delivered + dropped = sent" 1000 (drops + delivered);
+  let drops', delivered' = ge_run 11 in
+  checki "same seed, same losses" drops drops';
+  checki "same seed, same deliveries" delivered delivered'
+
+let test_corrupt_rate_and_validation () =
+  let sim, pool, link, delivered =
+    pooled_link ~rate:(Engine.Time.gbps 10) ()
+  in
+  let fault = Fault.plan ~seed:5 sim in
+  Fault.corrupt fault ~rate:0.3 link;
+  let sent = ref 0 in
+  ignore
+    (Engine.Sim.periodic sim ~interval:(Engine.Time.us 2) (fun () ->
+         send_one pool link;
+         incr sent;
+         !sent < 1000));
+  Engine.Sim.run sim;
+  let drops = Fault.loss_drops fault in
+  checki "conservation" 1000 (drops + !delivered);
+  checkb "rate roughly honoured" true (drops > 200 && drops < 400);
+  audit_ok ~links:[ link ] ~pool ();
+  checkb "rate >= 1 rejected" true
+    (try
+       Fault.corrupt fault ~rate:1.0 link;
+       false
+     with Invalid_argument _ -> true)
+
+(* ----------------------------- blackhole --------------------------- *)
+
+let test_blackhole_absorbs_in_window () =
+  let sim = Engine.Sim.create () in
+  let pool = Packet.pool sim in
+  let sw = Switch.create sim ~name:"s" ~pool () in
+  let out =
+    Link.create sim ~name:"out" ~rate:(Engine.Time.gbps 10) ~delay:0 ~pool ()
+  in
+  let delivered = ref 0 in
+  Link.set_dst out (fun p ->
+      incr delivered;
+      Packet.release pool p);
+  let port = Switch.add_port sw out in
+  let routes = Routing.create () in
+  Routing.add routes 7 port;
+  Switch.set_forward sw (Routing.static routes);
+  let fault = Fault.plan sim in
+  Fault.blackhole fault ~from:(Engine.Time.us 10) ~until:(Engine.Time.us 20)
+    sw ~dst:7;
+  let inject at =
+    ignore
+      (Engine.Sim.schedule sim ~at (fun () ->
+           Switch.receive sw (Packet.recycle pool ~src:0 ~dst:7 ~size:100 ())))
+  in
+  inject (Engine.Time.us 5);
+  inject (Engine.Time.us 15);
+  inject (Engine.Time.us 25);
+  Engine.Sim.run sim;
+  checki "inside the window absorbed" 1 (Fault.blackholed fault);
+  checki "outside the window forwarded" 2 !delivered;
+  checki "plan total counts it" 1 (Fault.drops fault);
+  audit_ok ~links:[ out ] ~pool ()
+
+(* ------------------------ routing reconvergence -------------------- *)
+
+let test_reroute_detection_delay_and_flaps () =
+  let sim, pool, link, _ = pooled_link () in
+  let routes = Routing.create () in
+  Routing.add routes 5 0;
+  Routing.add routes 5 1;
+  let fault = Fault.plan sim in
+  Fault.reroute fault routes ~port:0 ~detect:(Engine.Time.us 100) link;
+  (* A flap shorter than the detection delay is invisible. *)
+  Fault.link_down fault ~at:(Engine.Time.us 10) link;
+  Fault.link_up fault ~at:(Engine.Time.us 50) link;
+  Engine.Sim.run ~until:(Engine.Time.us 180) sim;
+  checkb "flap below detect not withdrawn" false (Routing.port_removed routes 0);
+  (* A real outage is withdrawn one detection delay later... *)
+  Fault.link_down fault ~at:(Engine.Time.us 200) link;
+  Engine.Sim.run ~until:(Engine.Time.us 250) sim;
+  checkb "not yet detected" false (Routing.port_removed routes 0);
+  Engine.Sim.run ~until:(Engine.Time.us 350) sim;
+  checkb "withdrawn after detect" true (Routing.port_removed routes 0);
+  checki "only the survivor offered" 1
+    (Array.length (Routing.ports_for routes 5));
+  (* ...and restored one detection delay after repair. *)
+  Fault.link_up fault ~at:(Engine.Time.us 400) link;
+  Engine.Sim.run ~until:(Engine.Time.us 550) sim;
+  checkb "restored after detect" false (Routing.port_removed routes 0);
+  checki "both ports back" 2 (Array.length (Routing.ports_for routes 5));
+  audit_ok ~links:[ link ] ~pool ()
+
+(* ------------------------------- audit ----------------------------- *)
+
+let test_audit_catches_leaks () =
+  let sim = Engine.Sim.create () in
+  let pool = Packet.pool sim in
+  let p = Packet.recycle pool ~src:0 ~dst:1 ~size:100 () in
+  checkb "outstanding packet flagged" true
+    (match Fault.audit ~pool () with Ok () -> false | Error _ -> true);
+  audit_ok ~held:1 ~pool ();
+  Packet.release pool p;
+  audit_ok ~pool ()
+
+(* ----------------------- MTP pathlet failover ---------------------- *)
+
+let r1 = { Mtp.Wire.path_id = 1; path_tc = 0 }
+let r2 = { Mtp.Wire.path_id = 2; path_tc = 0 }
+
+let test_pathlet_suspect_probe_revive () =
+  let tbl =
+    Mtp.Pathlet.create ~suspect_after:2
+      ~probe_interval:(Engine.Time.us 100)
+      (Mtp.Cc.Dctcp { g = 0.0625 })
+  in
+  (* Touch both pathlets so steering sees them. *)
+  ignore (Mtp.Pathlet.get tbl r1);
+  ignore (Mtp.Pathlet.get tbl r2);
+  Mtp.Pathlet.note_timeout tbl [ r1 ] ~now:0;
+  checkb "one strike is not suspect" false (Mtp.Pathlet.suspect tbl r1);
+  checki "strike counted" 1 (Mtp.Pathlet.strikes tbl r1);
+  Mtp.Pathlet.note_timeout tbl [ r1 ] ~now:(Engine.Time.us 10);
+  checkb "suspect after threshold" true (Mtp.Pathlet.suspect tbl r1);
+  checki "suspect listed" 1 (List.length (Mtp.Pathlet.suspects tbl));
+  (* Steering avoids the suspect while an alternative exists. *)
+  checkb "best_of avoids suspect" true (Mtp.Pathlet.best_of tbl [ r1; r2 ] = [ r2 ]);
+  checkb "all-suspect input falls back" true
+    (Mtp.Pathlet.best_of tbl [ r1 ] = [ r1 ]);
+  (* Probing: not before the interval, once per interval after it. *)
+  checkb "no probe before interval" true
+    (Mtp.Pathlet.probe_target tbl ~now:(Engine.Time.us 50) = None);
+  checkb "probe offered after interval" true
+    (Mtp.Pathlet.probe_target tbl ~now:(Engine.Time.us 150) = Some r1);
+  checkb "probe not repeated immediately" true
+    (Mtp.Pathlet.probe_target tbl ~now:(Engine.Time.us 160) = None);
+  (* A probe's ack revives the pathlet. *)
+  Mtp.Pathlet.note_progress tbl [ r1 ];
+  checkb "revived" false (Mtp.Pathlet.suspect tbl r1);
+  checki "no suspects left" 0 (List.length (Mtp.Pathlet.suspects tbl));
+  checki "strikes cleared" 0 (Mtp.Pathlet.strikes tbl r1);
+  audit_ok ~pool:(Packet.pool (Engine.Sim.create ())) ()
+
+let mtp_pair () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let a = Topology.host topo "a" and b = Topology.host topo "b" in
+  let ab, _ =
+    Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 10)
+      ~delay:(Engine.Time.us 2) ()
+  in
+  (sim, a, b, ab)
+
+let test_endpoint_deadline_on_error () =
+  let sim, a, b, ab = mtp_pair () in
+  let ea = Mtp.Endpoint.create a and eb = Mtp.Endpoint.create b in
+  Mtp.Endpoint.bind eb ~port:80 (fun _ -> ());
+  Link.set_down ab;
+  let errors = ref [] in
+  let completed = ref false in
+  ignore
+    (Mtp.Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80
+       ~deadline:(Engine.Time.us 500)
+       ~on_complete:(fun _ -> completed := true)
+       ~on_error:(fun elapsed -> errors := elapsed :: !errors)
+       ~size:10_000 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 5) sim;
+  checkb "never completed" false !completed;
+  checki "on_error fired once" 1 (List.length !errors);
+  checkb "after the deadline" true
+    (match !errors with [ e ] -> e >= Engine.Time.us 500 | _ -> false);
+  checki "failure counted" 1 (Mtp.Endpoint.failed ea);
+  audit_ok ~pool:(Packet.pool sim) ()
+
+let test_endpoint_deadline_met_no_error () =
+  let sim, a, b, _ = mtp_pair () in
+  let ea = Mtp.Endpoint.create a and eb = Mtp.Endpoint.create b in
+  Mtp.Endpoint.bind eb ~port:80 (fun _ -> ());
+  let errors = ref 0 and completed = ref false in
+  ignore
+    (Mtp.Endpoint.send ea ~dst:(Node.addr b) ~dst_port:80
+       ~deadline:(Engine.Time.ms 2)
+       ~on_complete:(fun _ -> completed := true)
+       ~on_error:(fun _ -> incr errors)
+       ~size:10_000 ());
+  Engine.Sim.run ~until:(Engine.Time.ms 5) sim;
+  checkb "completed" true !completed;
+  checki "no error" 0 !errors;
+  checki "no failures counted" 0 (Mtp.Endpoint.failed ea);
+  audit_ok ~pool:(Packet.pool sim) ()
+
+(* --------------------------- TCP abort ----------------------------- *)
+
+let test_tcp_max_retries_aborts () =
+  let sim, a, b, ab = mtp_pair () in
+  let client = Transport.Tcp.install ~max_retries:3 a in
+  let server = Transport.Tcp.install b in
+  Transport.Tcp.listen server ~port:80 (fun _ -> ());
+  Link.set_down ab;
+  let conn =
+    Transport.Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 ()
+  in
+  let errored = ref false in
+  Transport.Tcp.set_on_error conn (fun _ -> errored := true);
+  Transport.Tcp.send conn 100_000;
+  Engine.Sim.run ~until:(Engine.Time.ms 200) sim;
+  checkb "connection aborted" true (Transport.Tcp.aborted conn);
+  checkb "on_error delivered" true !errored;
+  checkb "no longer open" false (Transport.Tcp.is_open conn);
+  audit_ok ~pool:(Packet.pool sim) ()
+
+let test_tcp_survives_within_retry_budget () =
+  (* An outage shorter than the retry budget: the connection must come
+     back, not abort. *)
+  let sim, a, b, ab = mtp_pair () in
+  let client = Transport.Tcp.install ~max_retries:15 a in
+  let server = Transport.Tcp.install b in
+  let received = ref 0 in
+  Transport.Tcp.listen server ~port:80 (fun conn ->
+      Transport.Tcp.set_on_data conn (fun _ n -> received := !received + n));
+  let conn =
+    Transport.Tcp.connect client ~dst:(Node.addr b) ~dst_port:80 ()
+  in
+  Transport.Tcp.send conn 100_000;
+  ignore
+    (Engine.Sim.schedule sim ~at:(Engine.Time.us 50) (fun () ->
+         Link.set_down ab));
+  ignore
+    (Engine.Sim.schedule sim ~at:(Engine.Time.ms 2) (fun () ->
+         Link.set_up ab));
+  Engine.Sim.run ~until:(Engine.Time.ms 100) sim;
+  checkb "not aborted" false (Transport.Tcp.aborted conn);
+  checki "all bytes eventually through" 100_000 !received;
+  checkb "timeouts were taken" true (Transport.Tcp.timeouts conn > 0);
+  audit_ok ~pool:(Packet.pool sim) ()
+
+let suite =
+  [ Alcotest.test_case "link down/up" `Quick test_link_down_drops_and_up_resumes;
+    Alcotest.test_case "fault plan schedule" `Quick
+      test_fault_plan_schedules_and_logs;
+    Alcotest.test_case "gilbert-elliott" `Quick
+      test_gilbert_elliott_lossy_and_deterministic;
+    Alcotest.test_case "corruption" `Quick test_corrupt_rate_and_validation;
+    Alcotest.test_case "blackhole" `Quick test_blackhole_absorbs_in_window;
+    Alcotest.test_case "reroute detection" `Quick
+      test_reroute_detection_delay_and_flaps;
+    Alcotest.test_case "audit leaks" `Quick test_audit_catches_leaks;
+    Alcotest.test_case "pathlet suspect/probe" `Quick
+      test_pathlet_suspect_probe_revive;
+    Alcotest.test_case "endpoint deadline error" `Quick
+      test_endpoint_deadline_on_error;
+    Alcotest.test_case "endpoint deadline met" `Quick
+      test_endpoint_deadline_met_no_error;
+    Alcotest.test_case "tcp abort" `Quick test_tcp_max_retries_aborts;
+    Alcotest.test_case "tcp outage survival" `Quick
+      test_tcp_survives_within_retry_budget ]

@@ -6,6 +6,7 @@ let () =
       ("tcp", Test_tcp.suite);
       ("messaging", Test_messaging.suite);
       ("mtp", Test_mtp.suite);
+      ("fault", Test_fault.suite);
       ("workload", Test_workload.suite);
       ("innetwork", Test_innetwork.suite);
       ("experiments", Test_experiments.suite) ]

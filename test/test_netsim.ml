@@ -271,6 +271,22 @@ let test_link_utilization_accounting () =
   checki "all bytes sent" 150_000 (Link.bytes_sent link);
   checkb "not busy at end" false (Link.busy link)
 
+let test_link_utilization_zero_window () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Link.create sim ~name:"l" ~rate:(Engine.Time.gbps 10) ~delay:0 ()
+  in
+  Link.set_dst link (fun _ -> ());
+  Link.send link (pkt ());
+  Engine.Sim.run sim;
+  let checkf = Alcotest.(check (float 0.0)) in
+  (* A zero-width (or future) window has no elapsed time to average
+     over; the meter must report idle rather than divide by zero. *)
+  checkf "since = now" 0.0 (Link.utilization link ~since:(Engine.Sim.now sim));
+  checkf "since in future" 0.0
+    (Link.utilization link ~since:(Engine.Sim.now sim + Engine.Time.us 1));
+  checkb "busy over real window" true (Link.utilization link ~since:0 > 0.0)
+
 (* ------------------------------ Switch ----------------------------- *)
 
 let build_switch_pair () =
@@ -362,6 +378,60 @@ let test_routing_spray_round_robins () =
         | _ -> -1)
   in
   Alcotest.(check (list int)) "alternates" [ 0; 1; 0; 1 ] ports
+
+let test_routing_selectors_unknown_and_single () =
+  let r = Routing.create () in
+  Routing.add r 5 3;
+  (* Unknown destination drops under every selector, not just static. *)
+  List.iter
+    (fun (label, sel) ->
+      match sel r (pkt ~dst:9 ()) with
+      | Switch.Drop -> ()
+      | _ -> Alcotest.fail (label ^ ": unknown dst must drop"))
+    [ ("static", Routing.static); ("ecmp", Routing.ecmp);
+      ("spray", Routing.spray) ];
+  (* A single registered port is the unanimous choice regardless of
+     flow hash or spray position. *)
+  List.iter
+    (fun (label, sel) ->
+      match sel r (pkt ~dst:5 ~flow_hash:7 ()) with
+      | Switch.Forward p -> checki (label ^ ": single port") 3 p
+      | _ -> Alcotest.fail (label ^ ": expected forward"))
+    [ ("static", Routing.static); ("ecmp", Routing.ecmp);
+      ("spray", Routing.spray) ]
+
+let test_routing_remove_restore_port () =
+  let r = Routing.create () in
+  Routing.add r 5 0;
+  Routing.add r 5 1;
+  Routing.remove_port r 0;
+  Routing.remove_port r 0 (* idempotent *);
+  checkb "removed flagged" true (Routing.port_removed r 0);
+  checki "effective shrinks" 1 (Array.length (Routing.ports_for r 5));
+  checki "registrations intact" 2
+    (Array.length (Routing.registered_ports_for r 5));
+  (* Every selector steers around the withdrawn port. *)
+  List.iter
+    (fun (label, sel) ->
+      for hash = 0 to 7 do
+        match sel r (pkt ~dst:5 ~flow_hash:hash ()) with
+        | Switch.Forward p -> checki (label ^ ": avoids removed") 1 p
+        | _ -> Alcotest.fail (label ^ ": expected forward")
+      done)
+    [ ("static", Routing.static); ("ecmp", Routing.ecmp);
+      ("spray", Routing.spray) ];
+  (* Withdrawing the last port leaves nothing to forward on. *)
+  Routing.remove_port r 1;
+  (match Routing.static r (pkt ~dst:5 ()) with
+  | Switch.Drop -> ()
+  | _ -> Alcotest.fail "all ports removed must drop");
+  Routing.restore_port r 0;
+  Routing.restore_port r 1;
+  checkb "removal cleared" false (Routing.port_removed r 0);
+  checki "effective restored" 2 (Array.length (Routing.ports_for r 5));
+  match Routing.static r (pkt ~dst:5 ()) with
+  | Switch.Forward p -> checki "static back to first port" 0 p
+  | _ -> Alcotest.fail "expected forward after restore"
 
 (* ----------------------------- Topology ---------------------------- *)
 
@@ -657,6 +727,8 @@ let suite =
     Alcotest.test_case "link timing" `Quick test_link_serialization_and_delay;
     Alcotest.test_case "link drops" `Quick test_link_drops_when_queue_full;
     Alcotest.test_case "link accounting" `Quick test_link_utilization_accounting;
+    Alcotest.test_case "link utilization zero window" `Quick
+      test_link_utilization_zero_window;
     Alcotest.test_case "switch forward" `Quick test_switch_forwards;
     Alcotest.test_case "switch drop" `Quick test_switch_drop_action;
     Alcotest.test_case "switch hook absorb" `Quick test_switch_hook_absorbs;
@@ -664,6 +736,10 @@ let suite =
     Alcotest.test_case "routing static" `Quick test_routing_static_and_unknown;
     Alcotest.test_case "routing ecmp" `Quick test_routing_ecmp_sticky_per_flow;
     Alcotest.test_case "routing spray" `Quick test_routing_spray_round_robins;
+    Alcotest.test_case "routing unknown/single" `Quick
+      test_routing_selectors_unknown_and_single;
+    Alcotest.test_case "routing remove/restore" `Quick
+      test_routing_remove_restore_port;
     Alcotest.test_case "host pair" `Quick test_host_pair_roundtrip;
     Alcotest.test_case "dumbbell" `Quick test_dumbbell_connectivity;
     Alcotest.test_case "dumbbell reverse" `Quick test_dumbbell_reverse_path;

@@ -272,6 +272,63 @@ let test_rtx_max_clamp () =
   done;
   checkb "never exceeds the ceiling" true (Rtx.rto r <= Engine.Time.ms 1)
 
+(* An arbitrary estimator history: RTT samples up to 10 ms interleaved
+   with timeouts (backoff) and recoveries (reset). *)
+let rtx_ops_arb =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [ (4, map (fun rtt -> `Observe rtt) (int_range 1 10_000_000));
+          (2, return `Backoff);
+          (1, return `Reset) ])
+  in
+  let print_op = function
+    | `Observe r -> Printf.sprintf "observe %dns" r
+    | `Backoff -> "backoff"
+    | `Reset -> "reset"
+  in
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    QCheck.Gen.(list_size (int_range 0 200) op_gen)
+
+let prop_rtx_rto_bounded =
+  QCheck.Test.make ~name:"rtx rto stays within [min_rto, max_rto]" ~count:200
+    rtx_ops_arb (fun ops ->
+      let t = Rtx.create () in
+      let lo = Engine.Time.us 50 and hi = Engine.Time.ms 100 in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Observe r -> Rtx.observe t r
+          | `Backoff -> Rtx.backoff t
+          | `Reset -> Rtx.reset_backoff t);
+          let rto = Rtx.rto t in
+          lo <= rto && rto <= hi)
+        ops)
+
+let prop_rtx_backoff_monotone =
+  QCheck.Test.make ~name:"rtx backoff monotone until clamped" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 20) (int_range 1 10_000_000))
+        (int_range 1 12))
+    (fun (samples, n_backoffs) ->
+      let t = Rtx.create () in
+      List.iter (Rtx.observe t) samples;
+      (* Each backoff may only raise the RTO, and once it stops rising
+         (either clamp) it is pinned there for all further backoffs. *)
+      let rec go prev i clamped =
+        if i = 0 then true
+        else begin
+          Rtx.backoff t;
+          let cur = Rtx.rto t in
+          cur >= prev
+          && ((not clamped) || cur = prev)
+          && go cur (i - 1) (clamped || cur = prev)
+        end
+      in
+      go (Rtx.rto t) n_backoffs false)
+
 (* --------------------------- Bidirectional ------------------------- *)
 
 let test_request_response_on_one_connection () =
@@ -457,6 +514,8 @@ let suite =
     Alcotest.test_case "rtx smoothing" `Quick test_rtx_smooths;
     Alcotest.test_case "rtx backoff" `Quick test_rtx_backoff_doubles_and_resets;
     Alcotest.test_case "rtx ceiling" `Quick test_rtx_max_clamp;
+    QCheck_alcotest.to_alcotest prop_rtx_rto_bounded;
+    QCheck_alcotest.to_alcotest prop_rtx_backoff_monotone;
     Alcotest.test_case "bidirectional conn" `Quick
       test_request_response_on_one_connection;
     Alcotest.test_case "udp completion" `Quick test_udp_message_completion;
