@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench check exhibits extensions sweeps examples clean
+.PHONY: all build test bench check telemetry-check exhibits extensions sweeps examples clean
 
 all: build
 
@@ -14,8 +14,9 @@ bench:
 	dune exec bench/main.exe
 
 # CI gate: full build, the test suite, a quick datapath bench that
-# must produce the allocation/throughput guardrail report, and a
-# shortened failover run exercising fault injection end to end.
+# must produce the allocation/throughput guardrail report, a
+# shortened failover run exercising fault injection end to end, and a
+# telemetry export check (JSONL parses, same-seed runs byte-identical).
 check:
 	dune build @all
 	dune runtest --force
@@ -23,6 +24,19 @@ check:
 	dune exec bench/main.exe -- --smoke
 	test -f BENCH_engine.json
 	dune exec bin/mtp_sim.exe -- failover --duration-ms 16 --fail-ms 5 --detect-ms 3 --restore-ms 11
+	$(MAKE) telemetry-check
+
+# Run one exhibit twice with telemetry export on: the JSONL trace must
+# parse line by line and both same-seed runs must be byte-identical.
+telemetry-check:
+	rm -rf _telemetry_check && mkdir -p _telemetry_check
+	dune exec bin/mtp_sim.exe -- fig5 --duration-ms 2 --trace _telemetry_check/t1.jsonl --metrics _telemetry_check/m1.csv > /dev/null
+	dune exec bin/mtp_sim.exe -- fig5 --duration-ms 2 --trace _telemetry_check/t2.jsonl --metrics _telemetry_check/m2.csv > /dev/null
+	cmp _telemetry_check/t1.jsonl _telemetry_check/t2.jsonl
+	cmp _telemetry_check/m1.csv _telemetry_check/m2.csv
+	python3 -c "import json,sys; [json.loads(l) for l in open('_telemetry_check/t1.jsonl')]; print('trace JSONL ok')"
+	head -1 _telemetry_check/m1.csv | grep -q '^run,metric,kind,field,value$$'
+	rm -rf _telemetry_check
 
 exhibits:
 	dune exec bin/mtp_sim.exe -- all

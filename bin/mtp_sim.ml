@@ -22,17 +22,57 @@ let csv_dir =
   let doc = "Also write each series/table to CSV files in $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
+let trace_file =
+  let doc =
+    "Enable telemetry and write the structured event trace to $(docv) \
+     (JSONL; a .csv extension selects CSV)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_file =
+  let doc =
+    "Enable telemetry and write the metrics-registry snapshots to $(docv) \
+     (CSV; a .jsonl extension selects JSONL)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 (* The csv option is recorded as a side effect of argument evaluation
    (before any command body runs) so every print path can honour it
-   without threading an extra parameter. *)
+   without threading an extra parameter.  Telemetry likewise: the
+   context must be enabled before any simulation object is built
+   (gauges register at construction), and the export files are written
+   once, at exit, after the command body finishes. *)
 let csv_target = ref None
+
+let format_of_ext path jsonl_default =
+  if Filename.check_suffix path ".csv" then `Csv
+  else if Filename.check_suffix path ".jsonl" || Filename.check_suffix path ".json"
+  then `Jsonl
+  else if jsonl_default then `Jsonl
+  else `Csv
 
 let output_opts =
   Term.(
-    const (fun dump csv ->
+    const (fun dump csv trace metrics ->
         csv_target := csv;
+        if trace <> None || metrics <> None then begin
+          Telemetry.Ctx.enable ();
+          at_exit (fun () ->
+              (match trace with
+              | Some path ->
+                Telemetry.Export.write_trace
+                  ~format:(format_of_ext path true) path;
+                Format.printf "  wrote %s@." path
+              | None -> ());
+              match metrics with
+              | Some path ->
+                Telemetry.Export.write_metrics
+                  ~format:(format_of_ext path false) path;
+                Format.printf "  wrote %s@." path
+              | None -> ())
+        end;
         dump)
-    $ dump_series $ csv_dir)
+    $ dump_series $ csv_dir $ trace_file $ metrics_file)
 
 let print_result dump result =
   Exp_common.print ~dump_series:dump Format.std_formatter result;

@@ -105,6 +105,27 @@ let pathlets t = t.path_table
 let now t = Engine.Sim.now t.ep_sim
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry probes.  All sites are guarded by [Telemetry.Ctx.on]: one
+   branch when disabled, nothing allocated.  Events use point ["mtp"];
+   per-endpoint gauges are registered under ["mtp.h<addr>."]. *)
+
+let probe_event t ~kind ~dst ~size ~a ~b =
+  Telemetry.Events.emit
+    (Telemetry.Ctx.events ())
+    ~at:(now t) ~kind ~point:"mtp" ~uid:(-1)
+    ~src:(Netsim.Node.addr t.ep_node) ~dst ~size ~a ~b
+
+let rtt_hist () =
+  Telemetry.Registry.histogram
+    (Telemetry.Ctx.metrics ())
+    ~scale:`Log ~lo:1.0 ~hi:1e6 ~buckets:60 "mtp.rtt_us"
+
+let msg_latency_hist () =
+  Telemetry.Registry.histogram
+    (Telemetry.Ctx.metrics ())
+    ~scale:`Log ~lo:1.0 ~hi:1e7 ~buckets:70 "mtp.msg_latency_us"
+
+(* ------------------------------------------------------------------ *)
 (* Bitmap helpers                                                       *)
 
 let bit_get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
@@ -245,6 +266,19 @@ let send_data_pkt t msg pkt_num ~rtx =
   msg.states.(pkt_num) <- Inflight { at = now t; charged; rtx };
   msg.tx_last_progress <- now t;
   if rtx then t.n_retransmits <- t.n_retransmits + 1;
+  if Telemetry.Ctx.on () then begin
+    probe_event t ~kind:Telemetry.Events.Send ~dst:msg.tx_dst ~size:payload
+      ~a:pkt_num ~b:msg.tx_id;
+    (match charged with
+    | { Wire.path_id; path_tc } :: _ ->
+      probe_event t ~kind:Telemetry.Events.Steer ~dst:msg.tx_dst
+        ~size:payload ~a:path_id ~b:path_tc
+    | [] -> ());
+    if exclude <> [] then
+      probe_event t ~kind:Telemetry.Events.Exclude ~dst:msg.tx_dst
+        ~size:(List.length exclude) ~a:(List.hd exclude).Wire.path_id
+        ~b:msg.tx_tc
+  end;
   emit_header t ~dst:msg.tx_dst header
 
 (* ------------------------------------------------------------------ *)
@@ -261,6 +295,10 @@ let fail_message t msg =
   Hashtbl.remove t.tx_table msg.tx_id;
   t.active <- List.filter (fun m -> m.tx_id <> msg.tx_id) t.active;
   t.n_failed <- t.n_failed + 1;
+  if Telemetry.Ctx.on () then
+    probe_event t ~kind:Telemetry.Events.Fail ~dst:msg.tx_dst ~size:msg.tx_size
+      ~a:msg.tx_id
+      ~b:(int_of_float (Engine.Time.to_float_us (now t - msg.tx_created)));
   match msg.tx_on_error with
   | Some f -> f (now t - msg.tx_created)
   | None -> ()
@@ -368,6 +406,9 @@ and check_timeouts t =
   List.iter
     (fun msg ->
       t.n_timeouts <- t.n_timeouts + 1;
+      if Telemetry.Ctx.on () then
+        probe_event t ~kind:Telemetry.Events.Rto ~dst:msg.tx_dst ~size:0
+          ~a:msg.tx_id ~b:t.n_timeouts;
       msg.tx_last_progress <- time;
       (* All in-flight packets of this message are presumed lost.  The
          loss (and the health strike) is attributed to the pathlets the
@@ -408,6 +449,12 @@ let finish_message t msg =
   Hashtbl.remove t.tx_table msg.tx_id;
   t.active <- List.filter (fun m -> m.tx_id <> msg.tx_id) t.active;
   t.n_completed <- t.n_completed + 1;
+  if Telemetry.Ctx.on () then begin
+    let latency_us = Engine.Time.to_float_us (now t - msg.tx_created) in
+    Stats.Histogram.add (msg_latency_hist ()) latency_us;
+    probe_event t ~kind:Telemetry.Events.Complete ~dst:msg.tx_dst
+      ~size:msg.tx_size ~a:msg.tx_id ~b:(int_of_float latency_us)
+  end;
   match msg.tx_on_complete with
   | Some f -> f (now t - msg.tx_created)
   | None -> ()
@@ -474,6 +521,10 @@ let process_ack t (header : Wire.t) (pkt : Netsim.Packet.t) =
           msg.acked_pkts <- msg.acked_pkts + 1;
           msg.tx_last_progress <- now t;
           let rtt = if rtx then None else Some (now t - at) in
+          (match rtt with
+          | Some sample when Telemetry.Ctx.on () ->
+            Stats.Histogram.add (rtt_hist ()) (Engine.Time.to_float_us sample)
+          | Some _ | None -> ());
           apply_feedback ~acked:payload ~rtt ();
           if msg.acked_pkts = msg.tx_npkts then finish_message t msg
         | Lost | Acked -> ()
@@ -636,18 +687,40 @@ let make_endpoint ?(algo = Cc.Dctcp { g = 0.0625 }) ?init_window
     ?(mtu_payload = 1440) ?(entity = 0) ?(max_msg_bytes = max_int / 4)
     ?(max_rx_messages = 1 lsl 20) ?(exclusion = true) ?suspect_after
     ?probe_interval ?(ack_every = 1) ?(ack_delay = Engine.Time.us 10) node =
-  { ep_node = node; ep_sim = Netsim.Node.sim node; entity;
-    mtu = mtu_payload; max_msg_bytes; max_rx_messages; exclusion;
-    path_table =
-      Pathlet.create ?init_window ~mss:mtu_payload ?suspect_after
-        ?probe_interval algo;
-    next_msg_id = 1; next_port = 30_000; tx_table = Hashtbl.create 64;
-    active = []; current = Hashtbl.create 8; rx_table = Hashtbl.create 64;
-    recent_done = Hashtbl.create 4096; recent_queue = Queue.create ();
-    bindings = Hashtbl.create 8; ack_every = max 1 ack_every; ack_delay;
-    ack_acc = Hashtbl.create 8; ticker_running = false; n_completed = 0;
-    n_failed = 0; n_delivered = 0; n_delivered_bytes = 0; n_retransmits = 0;
-    n_timeouts = 0; n_nacks = 0; n_rejected = 0; n_acks_tx = 0 }
+  let t =
+    { ep_node = node; ep_sim = Netsim.Node.sim node; entity;
+      mtu = mtu_payload; max_msg_bytes; max_rx_messages; exclusion;
+      path_table =
+        Pathlet.create ?init_window ~mss:mtu_payload ?suspect_after
+          ?probe_interval algo;
+      next_msg_id = 1; next_port = 30_000; tx_table = Hashtbl.create 64;
+      active = []; current = Hashtbl.create 8; rx_table = Hashtbl.create 64;
+      recent_done = Hashtbl.create 4096; recent_queue = Queue.create ();
+      bindings = Hashtbl.create 8; ack_every = max 1 ack_every; ack_delay;
+      ack_acc = Hashtbl.create 8; ticker_running = false; n_completed = 0;
+      n_failed = 0; n_delivered = 0; n_delivered_bytes = 0; n_retransmits = 0;
+      n_timeouts = 0; n_nacks = 0; n_rejected = 0; n_acks_tx = 0 }
+  in
+  if Telemetry.Ctx.on () then begin
+    let reg = Telemetry.Ctx.metrics () in
+    let pre = Printf.sprintf "mtp.h%d." (Netsim.Node.addr node) in
+    let g n f = Telemetry.Registry.set_gauge reg (pre ^ n) f in
+    g "completed" (fun () -> float_of_int t.n_completed);
+    g "failed" (fun () -> float_of_int t.n_failed);
+    g "delivered_msgs" (fun () -> float_of_int t.n_delivered);
+    g "delivered_bytes" (fun () -> float_of_int t.n_delivered_bytes);
+    g "retransmits" (fun () -> float_of_int t.n_retransmits);
+    g "timeouts" (fun () -> float_of_int t.n_timeouts);
+    g "nacks" (fun () -> float_of_int t.n_nacks);
+    g "acks_tx" (fun () -> float_of_int t.n_acks_tx);
+    g "window_sum"
+      (fun () ->
+        List.fold_left
+          (fun acc (_, cc) -> acc +. float_of_int (Cc.window cc))
+          0.0
+          (Pathlet.known t.path_table))
+  end;
+  t
 
 let concerns_us t (header : Wire.t) =
   if header.Wire.is_ack then

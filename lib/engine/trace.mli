@@ -19,8 +19,12 @@ val record : t -> time:Time.t -> string -> unit
 
 val recordf :
   t -> time:Time.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted {!record}; the format arguments are not evaluated when
-    the trace is disabled. *)
+(** Formatted {!record}.  When the trace is disabled no formatting
+    work happens: [%a]/[%t] printer functions are never invoked and no
+    message string is built (the disabled path is [Format.ikfprintf],
+    pinned by a test).  Scalar arguments are still evaluated at the
+    call site — OCaml is strict — so hoist genuinely expensive
+    computations behind {!enabled} yourself. *)
 
 val entries : t -> (Time.t * string) list
 (** Retained entries, oldest first. *)

@@ -24,6 +24,10 @@ let print ?(dump_series = false) fmt r =
   | Some t -> Format.fprintf fmt "%a" Stats.Table.pp t
   | None -> ());
   List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) r.notes;
+  (* With telemetry on, each printed result closes a "run": the
+     registry snapshot taken here is what the metrics export attributes
+     to this exhibit. *)
+  Telemetry.Ctx.mark_run r.title;
   if dump_series then
     List.iter
       (fun { label; data } ->

@@ -23,7 +23,9 @@ val make :
 
 val print : ?dump_series:bool -> Format.formatter -> result -> unit
 (** Summaries per series (count/mean/max), the table, the notes; with
-    [dump_series], every [time value] row follows. *)
+    [dump_series], every [time value] row follows.  When telemetry is
+    enabled, also marks a registry run snapshot labeled by the result
+    title ({!Telemetry.Ctx.mark_run}). *)
 
 val mean_between :
   Stats.Timeseries.t -> lo:Engine.Time.t -> hi:Engine.Time.t -> float

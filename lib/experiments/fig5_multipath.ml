@@ -96,7 +96,9 @@ type output = {
 
 let run ?(config = default) () =
   let dctcp = run_dctcp config in
+  Telemetry.Ctx.mark_run "fig5/dctcp";
   let mtp = run_mtp config in
+  Telemetry.Ctx.mark_run "fig5/mtp";
   (* Skip the first quarter (convergence) when reporting means, like
      the paper's steady-state reading. *)
   let lo = config.duration / 4 and hi = config.duration in

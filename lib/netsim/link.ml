@@ -39,8 +39,20 @@ let deliver t p =
   | Some handler -> handler p
   | None -> failwith ("Link " ^ t.link_name ^ ": destination not wired")
 
+(* Structured telemetry: one guarded branch when disabled, and when
+   enabled the ring write itself allocates nothing ([point] is the
+   link's retained name).  [a]/[b] carry the instantaneous queue
+   state. *)
+let ev_emit t ~kind (p : Packet.t) =
+  Telemetry.Events.emit
+    (Telemetry.Ctx.events ())
+    ~at:(Engine.Sim.now t.sim) ~kind ~point:t.link_name ~uid:p.Packet.uid
+    ~src:p.Packet.src ~dst:p.Packet.dst ~size:p.Packet.size
+    ~a:(t.q.Qdisc.pkt_length ()) ~b:(t.q.Qdisc.byte_length ())
+
 let drop_faulted t p =
   t.n_fault_drops <- t.n_fault_drops + 1;
+  if Telemetry.Ctx.on () then ev_emit t ~kind:Telemetry.Events.Drop p;
   match t.pool with Some pool -> Packet.release pool p | None -> ()
 
 let rec transmit_next t =
@@ -51,6 +63,7 @@ let rec transmit_next t =
   | Some p ->
     t.transmitting <- true;
     t.cur <- p;
+    if Telemetry.Ctx.on () then ev_emit t ~kind:Telemetry.Events.Dequeue p;
     let tx = Engine.Time.tx_time ~bytes:p.Packet.size ~rate:t.link_rate in
     t.tx_ev <- Some (Engine.Sim.after t.sim tx t.on_tx_done)
 
@@ -80,6 +93,22 @@ let create sim ~name ~rate ~delay ?qdisc ?pool () =
          flight ring in order). *)
       let p = Pktring.pop t.flight in
       if t.up then deliver t p else drop_faulted t p);
+  (* Queue-depth, drop, mark and trim metrics; gauges read the live
+     qdisc (through [t], so [set_qdisc] swaps are followed) and cost
+     nothing until a snapshot samples them. *)
+  if Telemetry.Ctx.on () then begin
+    let reg = Telemetry.Ctx.metrics () in
+    let pre = "link." ^ name ^ "." in
+    let g n f = Telemetry.Registry.set_gauge reg (pre ^ n) f in
+    g "queue_pkts" (fun () -> float_of_int (t.q.Qdisc.pkt_length ()));
+    g "queue_bytes" (fun () -> float_of_int (t.q.Qdisc.byte_length ()));
+    g "max_queue_bytes" (fun () -> float_of_int (t.q.Qdisc.max_bytes_seen ()));
+    g "drops" (fun () -> float_of_int (t.q.Qdisc.drops ()));
+    g "marks" (fun () -> float_of_int (t.q.Qdisc.marks ()));
+    g "trims" (fun () -> float_of_int (t.q.Qdisc.trims ()));
+    g "sent_bytes" (fun () -> float_of_int t.sent_bytes);
+    g "fault_drops" (fun () -> float_of_int t.n_fault_drops)
+  end;
   t
 
 let set_dst t handler = t.dst <- Some handler
@@ -88,12 +117,33 @@ let add_tap t f = t.taps <- t.taps @ [ f ]
 
 let send t p =
   if not t.up then drop_faulted t p
-  else if t.q.Qdisc.enqueue p then begin
-    if not t.transmitting then transmit_next t
+  else if not (Telemetry.Ctx.on ()) then begin
+    (* Uninstrumented fast path: byte-for-byte the pre-telemetry code. *)
+    if t.q.Qdisc.enqueue p then begin
+      if not t.transmitting then transmit_next t
+    end
+    else
+      (* Tail drop: with a pool the dropped packet goes straight back. *)
+      match t.pool with Some pool -> Packet.release pool p | None -> ()
   end
-  else
-    (* Tail drop: with a pool the dropped packet goes straight back. *)
-    match t.pool with Some pool -> Packet.release pool p | None -> ()
+  else begin
+    (* The qdisc may mark or trim the packet during enqueue; comparing
+       the flags around the call attributes those events to this hop
+       without touching every qdisc implementation. *)
+    let was_ce = p.Packet.ecn_ce and was_trimmed = p.Packet.trimmed in
+    if t.q.Qdisc.enqueue p then begin
+      ev_emit t ~kind:Telemetry.Events.Enqueue p;
+      if p.Packet.ecn_ce && not was_ce then
+        ev_emit t ~kind:Telemetry.Events.Mark p;
+      if p.Packet.trimmed && not was_trimmed then
+        ev_emit t ~kind:Telemetry.Events.Trim p;
+      if not t.transmitting then transmit_next t
+    end
+    else begin
+      ev_emit t ~kind:Telemetry.Events.Drop p;
+      match t.pool with Some pool -> Packet.release pool p | None -> ()
+    end
+  end
 
 let qdisc t = t.q
 

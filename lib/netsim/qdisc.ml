@@ -6,6 +6,7 @@ type t = {
   pkt_length : unit -> int;
   drops : unit -> int;
   marks : unit -> int;
+  trims : unit -> int;
   max_bytes_seen : unit -> int;
 }
 
@@ -62,6 +63,7 @@ let fifo ?cap_bytes ~cap_pkts () =
     pkt_length = (fun () -> F.len f);
     drops = (fun () -> !drops);
     marks = (fun () -> 0);
+    trims = (fun () -> 0);
     max_bytes_seen = (fun () -> f.F.max_bytes) }
 
 let ecn ?cap_bytes ~cap_pkts ~mark_threshold () =
@@ -109,6 +111,7 @@ let trimming ~cap_pkts ~header_size () =
   let data = F.create () in
   let headers = F.create () in
   let drops = ref 0 in
+  let trims = ref 0 in
   let header_cap = 8 * cap_pkts in
   let enqueue p =
     if F.len data < cap_pkts then begin
@@ -118,6 +121,7 @@ let trimming ~cap_pkts ~header_size () =
     else if F.len headers < header_cap then begin
       p.Packet.trimmed <- true;
       p.Packet.size <- min p.Packet.size header_size;
+      incr trims;
       F.push headers p;
       true
     end
@@ -136,6 +140,7 @@ let trimming ~cap_pkts ~header_size () =
     pkt_length = (fun () -> F.len data + F.len headers);
     drops = (fun () -> !drops);
     marks = (fun () -> 0);
+    trims = (fun () -> !trims);
     max_bytes_seen = (fun () -> data.F.max_bytes) }
 
 let priority ~levels ~cap_pkts () =
@@ -166,6 +171,7 @@ let priority ~levels ~cap_pkts () =
     pkt_length = (fun () -> sum F.len);
     drops = (fun () -> !drops);
     marks = (fun () -> 0);
+    trims = (fun () -> 0);
     max_bytes_seen = (fun () -> sum (fun f -> f.F.max_bytes)) }
 
 let wrr ?mark_threshold ~classify ~weights ~cap_pkts () =
@@ -232,6 +238,7 @@ let wrr ?mark_threshold ~classify ~weights ~cap_pkts () =
     pkt_length = (fun () -> sum F.len);
     drops = (fun () -> !drops);
     marks = (fun () -> !marks);
+    trims = (fun () -> 0);
     max_bytes_seen = (fun () -> sum (fun f -> f.F.max_bytes)) }
 
 let fair_mark ~classify ?shares ~cap_pkts ~mark_threshold () =

@@ -14,6 +14,7 @@ type t = {
   pkt_length : unit -> int;  (** Packets currently queued. *)
   drops : unit -> int;  (** Packets dropped since creation. *)
   marks : unit -> int;  (** Packets CE-marked since creation. *)
+  trims : unit -> int;  (** Packets trimmed to headers since creation. *)
   max_bytes_seen : unit -> int;  (** High-watermark of queued bytes. *)
 }
 

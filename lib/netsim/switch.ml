@@ -16,8 +16,19 @@ type t = {
 }
 
 let create sim ~name ?pool () =
-  { sim; switch_name = name; ports = [||]; forward = None; hooks = [];
-    taps = []; pool; n_forwarded = 0; n_dropped = 0; n_consumed = 0 }
+  let t =
+    { sim; switch_name = name; ports = [||]; forward = None; hooks = [];
+      taps = []; pool; n_forwarded = 0; n_dropped = 0; n_consumed = 0 }
+  in
+  if Telemetry.Ctx.on () then begin
+    let reg = Telemetry.Ctx.metrics () in
+    let pre = "switch." ^ name ^ "." in
+    let g n f = Telemetry.Registry.set_gauge reg (pre ^ n) f in
+    g "forwarded" (fun () -> float_of_int t.n_forwarded);
+    g "dropped" (fun () -> float_of_int t.n_dropped);
+    g "consumed" (fun () -> float_of_int t.n_consumed)
+  end;
+  t
 
 let name t = t.switch_name
 let sim t = t.sim
@@ -61,6 +72,12 @@ let receive t p =
         Link.send t.ports.(i) p
       | Drop ->
         t.n_dropped <- t.n_dropped + 1;
+        if Telemetry.Ctx.on () then
+          Telemetry.Events.emit
+            (Telemetry.Ctx.events ())
+            ~at:(Engine.Sim.now t.sim) ~kind:Telemetry.Events.Drop
+            ~point:t.switch_name ~uid:p.Packet.uid ~src:p.Packet.src
+            ~dst:p.Packet.dst ~size:p.Packet.size ~a:0 ~b:0;
         (match t.pool with Some pool -> Packet.release pool p | None -> ())
       | Consume -> t.n_consumed <- t.n_consumed + 1))
 

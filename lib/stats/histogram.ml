@@ -7,19 +7,20 @@ type t = {
   counts : int array;
   mutable under : int;
   mutable over : int;
+  mutable nan_count : int;
   mutable total : int;
 }
 
 let create_linear ~lo ~hi ~buckets =
   if buckets <= 0 || hi <= lo then invalid_arg "Histogram.create_linear";
   { scale = Linear; lo; hi; counts = Array.make buckets 0;
-    under = 0; over = 0; total = 0 }
+    under = 0; over = 0; nan_count = 0; total = 0 }
 
 let create_log ~lo ~hi ~buckets =
   if buckets <= 0 || hi <= lo || lo <= 0.0 then
     invalid_arg "Histogram.create_log";
   { scale = Log; lo; hi; counts = Array.make buckets 0;
-    under = 0; over = 0; total = 0 }
+    under = 0; over = 0; nan_count = 0; total = 0 }
 
 let position t v =
   match t.scale with
@@ -30,15 +31,22 @@ let position t v =
 
 let add_many t v n =
   assert (n >= 0);
-  t.total <- t.total + n;
-  let buckets = Array.length t.counts in
-  let pos = position t v in
-  if pos < 0.0 then t.under <- t.under + n
-  else if pos >= 1.0 then t.over <- t.over + n
+  (* NaN fails both [position] comparisons below and [int_of_float nan]
+     is 0, so without this guard invalid samples would silently inflate
+     bucket 0.  They are filed in a dedicated cell instead, excluded
+     from [total] so the CDF still reaches 1. *)
+  if Float.is_nan v then t.nan_count <- t.nan_count + n
   else begin
-    let idx = int_of_float (pos *. float_of_int buckets) in
-    let idx = min (buckets - 1) idx in
-    t.counts.(idx) <- t.counts.(idx) + n
+    t.total <- t.total + n;
+    let buckets = Array.length t.counts in
+    let pos = position t v in
+    if pos < 0.0 then t.under <- t.under + n
+    else if pos >= 1.0 then t.over <- t.over + n
+    else begin
+      let idx = int_of_float (pos *. float_of_int buckets) in
+      let idx = min (buckets - 1) idx in
+      t.counts.(idx) <- t.counts.(idx) + n
+    end
   end
 
 let add t v = add_many t v 1
@@ -60,6 +68,7 @@ let bucket_value t i = t.counts.(i)
 
 let underflow t = t.under
 let overflow t = t.over
+let invalid t = t.nan_count
 
 let cdf t =
   let total = max 1 t.total in
@@ -78,4 +87,5 @@ let pp fmt t =
       Format.fprintf fmt "[%10.3g, %10.3g) %8d %s@." lo hi c bar)
     t.counts;
   if t.under > 0 then Format.fprintf fmt "underflow %d@." t.under;
-  if t.over > 0 then Format.fprintf fmt "overflow %d@." t.over
+  if t.over > 0 then Format.fprintf fmt "overflow %d@." t.over;
+  if t.nan_count > 0 then Format.fprintf fmt "invalid (NaN) %d@." t.nan_count

@@ -12,9 +12,13 @@ val create_log : lo:float -> hi:float -> buckets:int -> t
 val add : t -> float -> unit
 
 val add_many : t -> float -> int -> unit
-(** [add_many t v n] records value [v] with multiplicity [n]. *)
+(** [add_many t v n] records value [v] with multiplicity [n].  NaN
+    samples are filed in a dedicated {!invalid} cell, never in a
+    bucket. *)
 
 val count : t -> int
+(** Total samples recorded, excluding {!invalid} ones (so the {!cdf}
+    still reaches 1). *)
 
 val bucket_count : t -> int
 
@@ -26,6 +30,10 @@ val bucket_value : t -> int -> int
 
 val underflow : t -> int
 val overflow : t -> int
+
+val invalid : t -> int
+(** NaN samples received; kept out of every bucket and out of
+    {!count}. *)
 
 val cdf : t -> (float * float) list
 (** [(upper_bound, cumulative_fraction)] per bucket, using total count

@@ -23,9 +23,17 @@ val values : t -> float array
 val last : t -> (Engine.Time.t * float) option
 
 val mean : t -> float
+(** Arithmetic mean of the values; 0 on the empty series (a neutral
+    value for harness summaries — use {!length} to distinguish "no
+    samples" from "mean of 0"). *)
 
 val max_value : t -> float
-(** 0 when empty. *)
+(** Maximum value, folding from the first point (an all-negative
+    series reports its true, negative maximum).  0 on the empty
+    series; use {!max_value_opt} when that is ambiguous. *)
+
+val max_value_opt : t -> float option
+(** Maximum value, or [None] on the empty series. *)
 
 val summary : t -> Summary.t
 (** Fresh summary over the series' values. *)

@@ -1,0 +1,44 @@
+type t = {
+  mutable enabled : bool;
+  mutable ev : Events.t;
+  mutable reg : Registry.t;
+  mutable runs : (string * Registry.row list) list; (* newest first *)
+}
+
+let global =
+  { enabled = false; ev = Events.create ~capacity:1 ();
+    reg = Registry.create (); runs = [] }
+
+(* The one branch every instrumented hot path takes. *)
+let on () = global.enabled
+
+let events () = global.ev
+
+let metrics () = global.reg
+
+let enable ?(events_capacity = 65_536) () =
+  if not global.enabled then begin
+    global.ev <- Events.create ~capacity:events_capacity ();
+    global.reg <- Registry.create ();
+    global.runs <- [];
+    global.enabled <- true
+  end
+
+let disable () = global.enabled <- false
+
+let reset () =
+  let cap = Events.capacity global.ev in
+  let enabled = global.enabled in
+  global.enabled <- false;
+  if enabled then begin
+    global.ev <- Events.create ~capacity:cap ();
+    global.reg <- Registry.create ();
+    global.runs <- [];
+    global.enabled <- true
+  end
+
+let mark_run label =
+  if global.enabled then
+    global.runs <- (label, Registry.snapshot global.reg) :: global.runs
+
+let runs () = List.rev global.runs

@@ -1,0 +1,40 @@
+(** The process-wide telemetry context.
+
+    Simulations here are single threaded and run one at a time, so one
+    global context serves every layer without threading a handle
+    through each constructor.  It is disabled by default: an
+    instrumented hot path pays exactly one branch ({!on}) and performs
+    no allocation, registration or event emission — the PR-1 bench
+    guardrails hold with telemetry off.
+
+    Typical use (what [mtp_sim --trace/--metrics] does): {!enable}
+    before building the simulation, run, then hand {!events} and
+    {!metrics} to {!Export}. *)
+
+val on : unit -> bool
+(** Fast guard for instrumentation sites:
+    [if Ctx.on () then Events.emit (Ctx.events ()) ...]. *)
+
+val events : unit -> Events.t
+
+val metrics : unit -> Registry.t
+
+val enable : ?events_capacity:int -> unit -> unit
+(** Switch telemetry on with a fresh event ring (default capacity
+    65536) and registry.  No-op when already enabled. *)
+
+val disable : unit -> unit
+(** Stop collection; retained events and metric values survive for
+    export. *)
+
+val reset : unit -> unit
+(** Fresh ring, registry and run marks, preserving the enabled state
+    (test isolation). *)
+
+val mark_run : string -> unit
+(** Take a labeled registry snapshot — called by the experiment
+    harness at per-run boundaries so exports separate, say, the DCTCP
+    and MTP halves of one exhibit.  No-op when disabled. *)
+
+val runs : unit -> (string * Registry.row list) list
+(** Marked snapshots, oldest first. *)

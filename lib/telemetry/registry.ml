@@ -1,0 +1,102 @@
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable read : unit -> float }
+
+type hist = { h_name : string; hist : Stats.Histogram.t }
+
+type metric = Counter of counter | Gauge of gauge | Histogram of hist
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let metric_count t = Hashtbl.length t.tbl
+
+(* Counters are get-or-create: the same name re-registered (a second
+   simulation in the same process, or two components sharing a cell)
+   keeps accumulating into one cell. *)
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Registry.counter: " ^ name ^ " is not a counter")
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.add t.tbl name (Counter c);
+    c
+
+let incr c = c.count <- c.count + 1
+
+let add c n = c.count <- c.count + n
+
+let value c = c.count
+
+(* Gauges are sampled only at snapshot time, so registration is the
+   whole cost.  Re-registering replaces the closure: when consecutive
+   simulations reuse component names, the latest run's state is the
+   one a final snapshot should read. *)
+let set_gauge t name read =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge g) -> g.read <- read
+  | Some _ -> invalid_arg ("Registry.set_gauge: " ^ name ^ " is not a gauge")
+  | None -> Hashtbl.add t.tbl name (Gauge { g_name = name; read })
+
+let histogram t ?(scale = `Linear) ~lo ~hi ~buckets name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> h.hist
+  | Some _ ->
+    invalid_arg ("Registry.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+    let hist =
+      match scale with
+      | `Linear -> Stats.Histogram.create_linear ~lo ~hi ~buckets
+      | `Log -> Stats.Histogram.create_log ~lo ~hi ~buckets
+    in
+    Hashtbl.add t.tbl name (Histogram { h_name = name; hist });
+    hist
+
+type row = {
+  row_name : string;
+  row_kind : string; (* "counter" | "gauge" | "histogram" *)
+  row_fields : (string * float) list;
+}
+
+let float_field f =
+  (* %.17g is lossless for doubles but noisy; %g is stable and enough
+     for bucket bounds, which are construction-time constants. *)
+  Printf.sprintf "le_%g" f
+
+let hist_fields h =
+  let open Stats.Histogram in
+  let cum = ref (underflow h) in
+  let buckets =
+    List.init (bucket_count h) (fun i ->
+        cum := !cum + bucket_value h i;
+        let _, hi = bucket_range h i in
+        (float_field hi, float_of_int !cum))
+  in
+  [ ("count", float_of_int (count h));
+    ("underflow", float_of_int (underflow h));
+    ("overflow", float_of_int (overflow h));
+    ("invalid", float_of_int (invalid h)) ]
+  @ buckets
+
+(* Sorted by name so exports are deterministic regardless of hash
+   order. *)
+let snapshot t =
+  Hashtbl.fold
+    (fun name metric acc ->
+      let row =
+        match metric with
+        | Counter c ->
+          { row_name = name; row_kind = "counter";
+            row_fields = [ ("value", float_of_int c.count) ] }
+        | Gauge g ->
+          { row_name = name; row_kind = "gauge";
+            row_fields = [ ("value", g.read ()) ] }
+        | Histogram h ->
+          { row_name = name; row_kind = "histogram";
+            row_fields = hist_fields h.hist }
+      in
+      row :: acc)
+    t.tbl []
+  |> List.sort (fun a b -> compare a.row_name b.row_name)

@@ -86,6 +86,29 @@ let sim t = t.t_sim
 let infinite = max_int / 4
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry probes.  Every site is guarded by [Telemetry.Ctx.on], so a
+   stack in an uninstrumented simulation pays one branch per probe and
+   allocates nothing.  Histograms are shared across stacks by name
+   (DCTCP is this engine with another controller, so it lands in the
+   same cells; the per-host gauges stay distinct). *)
+
+let rtt_hist () =
+  Telemetry.Registry.histogram
+    (Telemetry.Ctx.metrics ())
+    ~scale:`Log ~lo:1.0 ~hi:1e6 ~buckets:60 "tcp.rtt_us"
+
+let msg_latency_hist () =
+  Telemetry.Registry.histogram
+    (Telemetry.Ctx.metrics ())
+    ~scale:`Log ~lo:1.0 ~hi:1e7 ~buckets:70 "tcp.msg_latency_us"
+
+let probe_event conn ~kind ~size ~a ~b =
+  Telemetry.Events.emit
+    (Telemetry.Ctx.events ())
+    ~at:(Engine.Sim.now conn.stack.t_sim) ~kind ~point:"tcp" ~uid:(-1)
+    ~src:(Netsim.Node.addr conn.stack.t_node) ~dst:conn.peer ~size ~a ~b
+
+(* ------------------------------------------------------------------ *)
 (* Segment emission                                                     *)
 
 let emit conn ?(syn = false) ?(fin = false) ?(is_ack = false) ?(ece = false)
@@ -101,6 +124,9 @@ let emit conn ?(syn = false) ?(fin = false) ?(is_ack = false) ?(ece = false)
       ~src:(Netsim.Node.addr stack.t_node) ~dst:conn.peer
       ~entity:stack.t_entity seg
   in
+  if payload > 0 && Telemetry.Ctx.on () then
+    probe_event conn ~kind:Telemetry.Events.Send ~size:payload ~a:seq
+      ~b:(int_of_float conn.cwnd);
   Netsim.Node.send stack.t_node pkt
 
 let send_pure_ack ?(ece = false) conn =
@@ -135,6 +161,9 @@ and on_rto conn =
       conn.reduce_end <- conn.snd_nxt;
       conn.dupacks <- 0;
       Rtx.backoff conn.rtx;
+      if Telemetry.Ctx.on () then
+        probe_event conn ~kind:Telemetry.Events.Rto ~size:0
+          ~a:conn.consec_rtos ~b:(int_of_float conn.cwnd);
       retransmit_head conn;
       arm_rto conn
     end
@@ -348,10 +377,15 @@ let process_ack conn (seg : Tcp_wire.t) =
     conn.consec_rtos <- 0;
     Rtx.reset_backoff conn.rtx;
     if conn.timed_seq >= 0 && seg.ack >= conn.timed_seq then begin
-      Rtx.observe conn.rtx
-        (Engine.Sim.now conn.stack.t_sim - conn.timed_at);
+      let sample = Engine.Sim.now conn.stack.t_sim - conn.timed_at in
+      Rtx.observe conn.rtx sample;
+      if Telemetry.Ctx.on () then
+        Stats.Histogram.add (rtt_hist ()) (Engine.Time.to_float_us sample);
       conn.timed_seq <- -1
     end;
+    if Telemetry.Ctx.on () then
+      probe_event conn ~kind:Telemetry.Events.Ack ~size:0 ~a:acked
+        ~b:(int_of_float conn.cwnd);
     if in_recovery conn then
       (* NewReno partial ACK: the next hole is missing too. *)
       retransmit_head conn
@@ -410,6 +444,19 @@ let check_peer_fin conn =
     conn.rcv_nxt <- conn.rcv_nxt + 1;
     conn.peer_fin_done <- true;
     conn.stack.t_rx_msgs <- conn.stack.t_rx_msgs + 1;
+    (* One message = one connection: FIN seen is message complete, and
+       [opened_at] on the passive side is SYN arrival, so this is the
+       receiver-observed per-message latency. *)
+    if Telemetry.Ctx.on () then begin
+      let latency =
+        Engine.Sim.now conn.stack.t_sim - conn.c_opened_at
+      in
+      Stats.Histogram.add (msg_latency_hist ())
+        (Engine.Time.to_float_us latency);
+      probe_event conn ~kind:Telemetry.Events.Complete ~size:conn.delivered
+        ~a:conn.local_port
+        ~b:(int_of_float (Engine.Time.to_float_us latency))
+    end;
     match conn.on_peer_fin with Some f -> f conn | None -> ()
   end
 
@@ -538,13 +585,26 @@ let handle_segment stack (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
 let make_stack ?(cc = Reno) ?(mss = 1460) ?rcv_buf ?snd_buf
     ?(init_cwnd_pkts = 10) ?(min_rto = Engine.Time.us 50) ?(max_retries = 15)
     ?(entity = 0) node =
-  { t_node = node; t_sim = Netsim.Node.sim node; t_cc = cc; t_mss = mss;
-    t_rcv_buf = (match rcv_buf with Some b -> b | None -> infinite);
-    t_snd_buf = (match snd_buf with Some b -> b | None -> infinite);
-    t_init_cwnd = init_cwnd_pkts * mss; t_min_rto = min_rto;
-    t_max_retries = max_retries; t_entity = entity; conns = Hashtbl.create 32;
-    listeners = Hashtbl.create 4; next_port = 10_000;
-    t_tx_msgs = 0; t_rx_msgs = 0; t_rx_bytes = 0; t_retx = 0 }
+  let stack =
+    { t_node = node; t_sim = Netsim.Node.sim node; t_cc = cc; t_mss = mss;
+      t_rcv_buf = (match rcv_buf with Some b -> b | None -> infinite);
+      t_snd_buf = (match snd_buf with Some b -> b | None -> infinite);
+      t_init_cwnd = init_cwnd_pkts * mss; t_min_rto = min_rto;
+      t_max_retries = max_retries; t_entity = entity;
+      conns = Hashtbl.create 32;
+      listeners = Hashtbl.create 4; next_port = 10_000;
+      t_tx_msgs = 0; t_rx_msgs = 0; t_rx_bytes = 0; t_retx = 0 }
+  in
+  if Telemetry.Ctx.on () then begin
+    let reg = Telemetry.Ctx.metrics () in
+    let pre = Printf.sprintf "tcp.h%d." (Netsim.Node.addr node) in
+    let g n f = Telemetry.Registry.set_gauge reg (pre ^ n) f in
+    g "tx_msgs" (fun () -> float_of_int stack.t_tx_msgs);
+    g "rx_msgs" (fun () -> float_of_int stack.t_rx_msgs);
+    g "rx_bytes" (fun () -> float_of_int stack.t_rx_bytes);
+    g "retransmits" (fun () -> float_of_int stack.t_retx)
+  end;
+  stack
 
 let concerns_us stack (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
   if seg.syn && not seg.is_ack then Hashtbl.mem stack.listeners seg.dst_port

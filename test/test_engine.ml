@@ -353,6 +353,21 @@ let test_trace_records_and_finds () =
   Trace.clear tr;
   check "cleared" 0 (Trace.length tr)
 
+(* The mli promises that a disabled [recordf] never renders its
+   arguments: %t/%a printers must not run.  (Scalar arguments are still
+   evaluated — that is OCaml application order, not formatting.) *)
+let test_trace_recordf_lazy_when_disabled () =
+  let tr = Trace.create () in
+  let rendered = ref false in
+  let printer fmt = rendered := true; Format.pp_print_string fmt "x" in
+  Trace.recordf tr ~time:1 "side effect: %t" printer;
+  checkb "printer not invoked while disabled" false !rendered;
+  check "nothing recorded" 0 (Trace.length tr);
+  Trace.enable tr;
+  Trace.recordf tr ~time:2 "side effect: %t" printer;
+  checkb "printer invoked once enabled" true !rendered;
+  check "recorded" 1 (Trace.length tr)
+
 let test_trace_capacity_bounded () =
   let tr = Trace.create ~capacity:10 () in
   Trace.enable tr;
@@ -392,4 +407,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_sim_until_boundary;
     Alcotest.test_case "trace off" `Quick test_trace_disabled_by_default;
     Alcotest.test_case "trace record/find" `Quick test_trace_records_and_finds;
+    Alcotest.test_case "trace recordf lazy" `Quick
+      test_trace_recordf_lazy_when_disabled;
     Alcotest.test_case "trace bounded" `Quick test_trace_capacity_bounded ]

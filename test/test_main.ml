@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mtp-repro"
     [ ("engine", Test_engine.suite);
       ("stats", Test_stats.suite);
+      ("telemetry", Test_telemetry.suite);
       ("netsim", Test_netsim.suite);
       ("tcp", Test_tcp.suite);
       ("messaging", Test_messaging.suite);

@@ -67,6 +67,18 @@ let prop_percentile_monotone =
       && v1 >= Stats.Summary.min_value s -. 1e-9
       && v2 <= Stats.Summary.max_value s +. 1e-9)
 
+(* qcheck: percentile endpoints are exactly the extremes. *)
+let prop_percentile_endpoints =
+  QCheck.Test.make ~name:"summary percentile endpoints = min/max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50)
+              (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      Stats.Summary.percentile s 0.0 = Stats.Summary.min_value s
+      && Stats.Summary.percentile s 100.0 = Stats.Summary.max_value s)
+
 (* ----------------------------- Histogram --------------------------- *)
 
 let test_histogram_linear () =
@@ -91,6 +103,52 @@ let test_histogram_log () =
   checki "decade 2" 1 (Stats.Histogram.bucket_value h 1);
   checki "decade 3" 1 (Stats.Histogram.bucket_value h 2)
 
+(* Bucket boundaries, pinned with exactly representable values: a
+   bucket owns its inclusive lower edge, [hi] itself overflows. *)
+let test_histogram_bucket_boundaries () =
+  let h = Stats.Histogram.create_linear ~lo:0.0 ~hi:8.0 ~buckets:8 in
+  List.iter (Stats.Histogram.add h)
+    [ 0.0 (* = lo: bucket 0 *); 1.0 (* edge 0|1: bucket 1 *);
+      7.0 (* edge 6|7: bucket 7 *); 7.5 (* interior: bucket 7 *) ];
+  Stats.Histogram.add h 8.0 (* = hi: overflow, hi is exclusive *);
+  Stats.Histogram.add h (-0.5);
+  checki "lo lands in bucket 0" 1 (Stats.Histogram.bucket_value h 0);
+  checki "edge owns its bucket" 1 (Stats.Histogram.bucket_value h 1);
+  checki "last bucket" 2 (Stats.Histogram.bucket_value h 7);
+  checki "hi overflows" 1 (Stats.Histogram.overflow h);
+  checki "below lo underflows" 1 (Stats.Histogram.underflow h);
+  (* Reported ranges agree with placement: each added edge value sits
+     inside [bucket_range] of the bucket that counted it. *)
+  let lo0, hi0 = Stats.Histogram.bucket_range h 0 in
+  checkb "range 0" true (lo0 = 0.0 && hi0 = 1.0);
+  let lo7, hi7 = Stats.Histogram.bucket_range h 7 in
+  checkb "range 7" true (lo7 = 7.0 && hi7 = 8.0)
+
+let test_histogram_log_boundaries () =
+  let h = Stats.Histogram.create_log ~lo:1.0 ~hi:1000.0 ~buckets:3 in
+  Stats.Histogram.add h 1.0;
+  checki "lo lands in bucket 0" 1 (Stats.Histogram.bucket_value h 0);
+  Stats.Histogram.add h 1000.0;
+  checki "hi overflows" 1 (Stats.Histogram.overflow h);
+  Stats.Histogram.add h 0.5;
+  Stats.Histogram.add h 0.0;
+  Stats.Histogram.add h (-3.0);
+  checki "at/below zero underflow on log scale" 3
+    (Stats.Histogram.underflow h)
+
+let test_histogram_nan_invalid () =
+  let h = Stats.Histogram.create_linear ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  Stats.Histogram.add h 0.5;
+  Stats.Histogram.add h Float.nan;
+  Stats.Histogram.add_many h Float.nan 3;
+  checki "NaN kept out of bucket 0" 1 (Stats.Histogram.bucket_value h 0);
+  checki "NaN kept out of count" 1 (Stats.Histogram.count h);
+  checki "invalid cell" 4 (Stats.Histogram.invalid h);
+  (* And the CDF still reaches 1 despite the invalid samples. *)
+  match List.rev (Stats.Histogram.cdf h) with
+  | (_, frac) :: _ -> checkf "cdf unpolluted" 1.0 frac
+  | [] -> Alcotest.fail "empty cdf"
+
 let test_histogram_cdf_reaches_one () =
   let h = Stats.Histogram.create_linear ~lo:0.0 ~hi:10.0 ~buckets:5 in
   List.iter (Stats.Histogram.add h) [ 1.0; 3.0; 7.0 ];
@@ -112,6 +170,20 @@ let test_timeseries_basic () =
     checki "last time" 20 t;
     checkf "last value" 3.0 v
   | None -> Alcotest.fail "no last")
+
+let test_timeseries_negative_max () =
+  let ts = Stats.Timeseries.create () in
+  Stats.Timeseries.add ts ~time:1 (-5.0);
+  Stats.Timeseries.add ts ~time:2 (-2.0);
+  Stats.Timeseries.add ts ~time:3 (-9.0);
+  (* An all-negative series must not report the old 0.0 fold seed. *)
+  checkf "max of negatives" (-2.0) (Stats.Timeseries.max_value ts);
+  (match Stats.Timeseries.max_value_opt ts with
+  | Some v -> checkf "opt agrees" (-2.0) v
+  | None -> Alcotest.fail "expected Some");
+  let empty = Stats.Timeseries.create () in
+  checkb "empty is None" true (Stats.Timeseries.max_value_opt empty = None);
+  checkf "empty mean neutral" 0.0 (Stats.Timeseries.mean empty)
 
 let test_timeseries_rejects_backwards () =
   let ts = Stats.Timeseries.create () in
@@ -180,11 +252,20 @@ let suite =
     Alcotest.test_case "summary empty" `Quick test_summary_empty_raises;
     Alcotest.test_case "summary cache" `Quick test_summary_unsorted_input;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_percentile_endpoints;
     Alcotest.test_case "histogram linear" `Quick test_histogram_linear;
+    Alcotest.test_case "histogram boundaries" `Quick
+      test_histogram_bucket_boundaries;
+    Alcotest.test_case "histogram log boundaries" `Quick
+      test_histogram_log_boundaries;
+    Alcotest.test_case "histogram NaN invalid" `Quick
+      test_histogram_nan_invalid;
     Alcotest.test_case "histogram bounds" `Quick test_histogram_out_of_range;
     Alcotest.test_case "histogram log" `Quick test_histogram_log;
     Alcotest.test_case "histogram cdf" `Quick test_histogram_cdf_reaches_one;
     Alcotest.test_case "timeseries basic" `Quick test_timeseries_basic;
+    Alcotest.test_case "timeseries negative max" `Quick
+      test_timeseries_negative_max;
     Alcotest.test_case "timeseries monotone" `Quick
       test_timeseries_rejects_backwards;
     Alcotest.test_case "timeseries between" `Quick test_timeseries_between;

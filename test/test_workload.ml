@@ -75,6 +75,27 @@ let test_sample_bytes_positive () =
 
 (* ------------------------------- Sizes ----------------------------- *)
 
+let test_mix_overrun_falls_to_last () =
+  (* The float-accumulation overrun fallback must select the *last*
+     weighted component (its cumulative interval ends at the total),
+     not the first.  The branch is unreachable through the public
+     sampler with well-formed weights, so pin the distributional
+     consequence instead: a vanishing-weight first component must
+     essentially never be drawn, which fallback-to-first would
+     violate on every overrun. *)
+  let r = Engine.Rng.create 7 in
+  let d =
+    Workload.Dist.mix
+      [ (1e-12, Workload.Dist.constant 111.0);
+        (1.0, Workload.Dist.constant 1.0);
+        (1.0, Workload.Dist.constant 2.0) ]
+  in
+  let first_hits = ref 0 in
+  for _ = 1 to 20_000 do
+    if Workload.Dist.sample d r = 111.0 then incr first_hits
+  done;
+  checkb "first component never drawn" true (!first_hits = 0)
+
 let test_paper_mix_range () =
   let r = rng () in
   for _ = 1 to 5000 do
@@ -180,6 +201,8 @@ let suite =
     Alcotest.test_case "dist clamped" `Quick test_clamped;
     Alcotest.test_case "dist mix" `Quick test_mix_weights;
     Alcotest.test_case "dist bytes >= 1" `Quick test_sample_bytes_positive;
+    Alcotest.test_case "mix overrun fallback" `Quick
+      test_mix_overrun_falls_to_last;
     Alcotest.test_case "paper mix range" `Quick test_paper_mix_range;
     Alcotest.test_case "paper mix skew" `Quick test_paper_mix_skew;
     Alcotest.test_case "paper mix cap" `Quick test_paper_mix_cap;
