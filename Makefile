@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench check telemetry-check exhibits extensions sweeps examples clean
+.PHONY: all build test bench lint check telemetry-check exhibits extensions sweeps examples clean
 
 all: build
 
@@ -13,12 +13,20 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Static analysis: determinism & hot-path policy (see DESIGN.md
+# "Static analysis: simlint" and `simlint --list-rules`).  Exits
+# non-zero on any finding not covered by an inline pragma or
+# simlint.allow.
+lint:
+	dune exec bin/simlint.exe -- --root . lib bin bench
+
 # CI gate: full build, the test suite, a quick datapath bench that
 # must produce the allocation/throughput guardrail report, a
 # shortened failover run exercising fault injection end to end, and a
 # telemetry export check (JSONL parses, same-seed runs byte-identical).
 check:
 	dune build @all
+	$(MAKE) lint
 	dune runtest --force
 	rm -f BENCH_engine.json
 	dune exec bench/main.exe -- --smoke

@@ -366,17 +366,12 @@ let datapath_report () =
   let ev_words, ev_rate = datapath_events () in
   let tm_words, tm_rate = datapath_timer () in
   let pk_words, pk_rate = datapath_packets () in
-  Printf.printf "
-== datapath guardrails ==
-";
-  Printf.printf "%-32s %8.2f words/op %12.0f op/s (baseline %.2f)
-"
+  Printf.printf "\n== datapath guardrails ==\n";
+  Printf.printf "%-32s %8.2f words/op %12.0f op/s (baseline %.2f)\n"
     "sim event (schedule+dispatch)" ev_words ev_rate baseline_words_per_event;
-  Printf.printf "%-32s %8.2f words/op %12.0f op/s
-" "timer re-arm" tm_words
+  Printf.printf "%-32s %8.2f words/op %12.0f op/s\n" "timer re-arm" tm_words
     tm_rate;
-  Printf.printf "%-32s %8.2f words/op %12.0f op/s (baseline %.2f)
-"
+  Printf.printf "%-32s %8.2f words/op %12.0f op/s (baseline %.2f)\n"
     "pooled packet forward" pk_words pk_rate baseline_words_per_packet;
   let oc = open_out "BENCH_engine.json" in
   Printf.fprintf oc
@@ -403,8 +398,7 @@ let datapath_report () =
     (baseline_words_per_event /. Float.max 1e-9 ev_words)
     (baseline_words_per_packet /. Float.max 1e-9 pk_words);
   close_out oc;
-  Printf.printf "wrote BENCH_engine.json
-"
+  Printf.printf "wrote BENCH_engine.json\n"
 
 let () =
   if Array.exists (( = ) "--smoke") Sys.argv then datapath_report ()

@@ -1,0 +1,4 @@
+(* simlint — the repo's determinism & hot-path lint.  See
+   [simlint --list-rules] and DESIGN.md "Static analysis: simlint". *)
+
+let () = exit (Lint.Driver.main Sys.argv)

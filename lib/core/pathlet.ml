@@ -6,7 +6,6 @@
 type health = {
   mutable consec_rto : int;
   mutable suspect : bool;
-  mutable suspect_since : Engine.Time.t;
   mutable last_probe : Engine.Time.t;
 }
 
@@ -72,7 +71,7 @@ let health_ref t r =
   | Some h -> h
   | None ->
     let h =
-      { consec_rto = 0; suspect = false; suspect_since = 0; last_probe = 0 }
+      { consec_rto = 0; suspect = false; last_probe = 0 }
     in
     Hashtbl.add t.health k h;
     h
@@ -94,7 +93,6 @@ let note_timeout t refs ~now =
       h.consec_rto <- h.consec_rto + 1;
       if h.consec_rto >= t.suspect_after && not h.suspect then begin
         h.suspect <- true;
-        h.suspect_since <- now;
         (* First probe only after a full interval: the pathlet just
            proved dead, give it time before spending a packet on it. *)
         h.last_probe <- now;
@@ -115,32 +113,46 @@ let note_progress t refs =
         end)
     refs
 
+(* Suspect sets and probe choices must not depend on OCaml's hash
+   layout: the suspect list lands in MTP header exclusion lists, so a
+   hash-function change would alter the wire trace.  Both views key on
+   the pathlet's [(path_id, path_tc)] pair. *)
+
 let suspects t =
   if t.n_suspect = 0 then []
   else
+    (* simlint: allow D001 — fold result is sorted by key just below *)
     Hashtbl.fold
       (fun (path_id, path_tc) h acc ->
         if h.suspect then { Wire.path_id; path_tc } :: acc else acc)
       t.health []
+    |> List.sort (fun (a : Wire.path_ref) b ->
+           compare (a.path_id, a.path_tc) (b.path_id, b.path_tc))
 
 (* Candidates come from the whole health table, not the caller's live
    path list: a dead pathlet ages out of the per-destination path set
    (no acks name it), so the live list is exactly where a suspect
-   never appears. *)
+   never appears.  Among the probe-eligible suspects the smallest key
+   wins, so the pick is stable across hash layouts. *)
 let probe_target t ~now =
   if t.n_suspect = 0 then None
   else
-    Hashtbl.fold
-      (fun (path_id, path_tc) h acc ->
-        match acc with
-        | Some _ -> acc
-        | None ->
-          if h.suspect && now - h.last_probe >= t.probe_interval then begin
-            h.last_probe <- now;
-            Some { Wire.path_id; path_tc }
-          end
-          else None)
-      t.health None
+    let best =
+      (* simlint: allow D001 — fold keeps the minimum key, order-free *)
+      Hashtbl.fold
+        (fun k h acc ->
+          if h.suspect && now - h.last_probe >= t.probe_interval then
+            match acc with
+            | Some (k', _) when compare k' k <= 0 -> acc
+            | _ -> Some (k, h)
+          else acc)
+        t.health None
+    in
+    match best with
+    | None -> None
+    | Some ((path_id, path_tc), h) ->
+      h.last_probe <- now;
+      Some { Wire.path_id; path_tc }
 
 (* -------------------------- steering views ------------------------- *)
 
@@ -184,10 +196,13 @@ let best_of t refs =
         first refs ]
 
 let known t =
+  (* simlint: allow D001 — fold result is sorted by key just below *)
   Hashtbl.fold
     (fun (path_id, path_tc) cc acc ->
       ({ Wire.path_id; path_tc }, cc) :: acc)
     t.table []
+  |> List.sort (fun ((a : Wire.path_ref), _) (b, _) ->
+         compare (a.path_id, a.path_tc) (b.path_id, b.path_tc))
 
 let congested_paths t ~now =
   List.filter_map

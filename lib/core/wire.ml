@@ -177,6 +177,7 @@ let ack ?(sack = []) ?(nack = []) ?(tc = 0) ~src_port ~dst_port ~msg_id
     ack_path_feedback; sack; nack }
 
 let add_feedback t fb_path fb =
+  (* simlint: allow H101 — list bounded by paths-per-dst, keeps wire order *)
   { t with path_feedback = t.path_feedback @ [ { fb_path; fb } ] }
 
 let packet sim ~src ~dst ~entity t =

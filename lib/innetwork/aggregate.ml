@@ -1,7 +1,6 @@
 type t = {
   sw : Netsim.Switch.t;
   ps : Netsim.Packet.addr;
-  ps_port : int;
   ps_switch_port : int;
   workers : int;
   (* (round, pkt_num) -> worker ids seen + a template header *)
@@ -55,7 +54,7 @@ let inject_aggregated t (h : Mtp.Wire.t) ~round =
 
 let install sw ~ps ~ps_port ~ps_switch_port ~workers () =
   let t =
-    { sw; ps; ps_port; ps_switch_port; workers; partial = Hashtbl.create 64;
+    { sw; ps; ps_switch_port; workers; partial = Hashtbl.create 64;
       n_absorbed = 0; n_injected = 0; n_rounds = 0;
       rounds_seen = Hashtbl.create 16; next_msg = 0;
       agg_ids = Hashtbl.create 16 }

@@ -1,7 +1,6 @@
 type policy = Round_robin | Least_outstanding | Ewma_latency
 
 type t = {
-  ep : Mtp.Endpoint.t;
   replicas : (Netsim.Packet.addr * int) array;
   policy : policy;
   out : int array;
@@ -36,7 +35,7 @@ let choose t =
 let create ep ~port ~replicas ?(policy = Least_outstanding) () =
   let n = Array.length replicas in
   let t =
-    { ep; replicas; policy; out = Array.make n 0; totals = Array.make n 0;
+    { replicas; policy; out = Array.make n 0; totals = Array.make n 0;
       ewma = Array.make n 50.0; rr = 0; n_forwarded = 0; n_replies = 0 }
   in
   Mtp.Endpoint.bind ep ~port (fun request ->

@@ -1,5 +1,4 @@
 type t = {
-  factor : float;
   mutable rewritten : int;
   mutable saved : int;
 }
@@ -17,7 +16,7 @@ let compressed_msg_len ~msg_len ~msg_pkts ~mtu_payload ~factor =
 
 let install sw ~dst_port ~factor ?(mtu_payload = 1440) () =
   if factor <= 0.0 || factor > 1.0 then invalid_arg "Mutate.install: factor";
-  let t = { factor; rewritten = 0; saved = 0 } in
+  let t = { rewritten = 0; saved = 0 } in
   Netsim.Switch.add_ingress_hook sw (fun pkt ->
       (match pkt.Netsim.Packet.payload with
       | Mtp.Wire.Mtp h

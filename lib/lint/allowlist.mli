@@ -1,0 +1,9 @@
+(** Checked-in file-level suppressions ([simlint.allow]).  Format:
+    one [RULE path[:line]] per line, ['#'] comments. *)
+
+type t
+
+val empty : t
+val parse_string : string -> (t, string) result
+val load : string -> (t, string) result
+val suppressed : t -> Finding.t -> bool

@@ -1,0 +1,73 @@
+type t = {
+  hot_modules : string list;
+  d001_dirs : string list;
+  t201_dirs : string list;
+  t201_exempt_dirs : string list;
+  rng_modules : string list;
+  mli_dirs : string list;
+}
+
+(* The hot set mirrors the PR-1 datapath bench: modules on the
+   per-event / per-packet path whose allocation behavior is guarded by
+   BENCH_engine.json.  Matching is by module basename so a future move
+   (say lib/netsim/link.ml -> lib/datapath/link.ml) keeps the rule. *)
+let default =
+  { hot_modules = [ "eventqueue"; "sim"; "link"; "qdisc"; "switch"; "wire" ];
+    d001_dirs = [ "lib"; "bin" ];
+    t201_dirs = [ "lib"; "bin" ];
+    t201_exempt_dirs = [ "lib/telemetry" ];
+    rng_modules = [ "rng" ];
+    mli_dirs = [ "lib" ] }
+
+let basename_no_ext file =
+  let b = Filename.basename file in
+  match Filename.chop_suffix_opt b ~suffix:".ml" with
+  | Some m -> m
+  | None -> ( match Filename.chop_suffix_opt b ~suffix:".mli" with
+              | Some m -> m
+              | None -> b)
+
+let in_dir file dir =
+  file = dir || String.length file > String.length dir
+               && String.sub file 0 (String.length dir + 1) = dir ^ "/"
+
+let in_dirs file dirs = List.exists (in_dir file) dirs
+
+let is_hot t file = List.mem (basename_no_ext file) t.hot_modules
+let is_rng t file = List.mem (basename_no_ext file) t.rng_modules
+let d001_applies t file = in_dirs file t.d001_dirs
+
+let t201_applies t file =
+  in_dirs file t.t201_dirs && not (in_dirs file t.t201_exempt_dirs)
+
+let mli_required t file = in_dirs file t.mli_dirs
+
+type rule_doc = { id : string; summary : string }
+
+let rules =
+  [ { id = "D001";
+      summary =
+        "Hashtbl.iter/fold iterate in hash order; in behavior-affecting \
+         modules collect-and-sort (then pragma the fold) or iterate keyed" };
+    { id = "D002";
+      summary =
+        "wall clock (Sys.time, Unix.gettimeofday/time) and ambient \
+         randomness (Random.* outside Engine.Rng, Random.self_init \
+         anywhere) break seeded replay" };
+    { id = "D003";
+      summary =
+        "float equality (=, <>, ==, !=) against a float literal is \
+         representation-fragile; compare with an ordering or pragma an \
+         intentional exact sentinel" };
+    { id = "H101";
+      summary =
+        "allocation hazard in a hot-path module (Printf.*, @ / \
+         List.append, ^ string concat, closure-capturing Fun \
+         combinators) outside an error-raise argument" };
+    { id = "T201";
+      summary =
+        "Telemetry.Events.emit / Telemetry.Registry.* call outside an \
+         [if Telemetry.Ctx.on () then ...] guard branch" };
+    { id = "M001"; summary = "every lib/ module must ship an .mli" } ]
+
+let known_rule id = List.exists (fun r -> r.id = id) rules

@@ -1,0 +1,34 @@
+(** Which rules apply where.  Paths are root-relative with ['/']
+    separators; module membership is by file basename so renames of
+    parent directories keep the policy. *)
+
+type t = {
+  hot_modules : string list;  (** basenames (no extension) under H101 *)
+  d001_dirs : string list;    (** behavior-affecting scope of D001 *)
+  t201_dirs : string list;
+  t201_exempt_dirs : string list;
+      (** the telemetry subsystem itself implements the guard *)
+  rng_modules : string list;  (** basenames allowed to touch [Random] *)
+  mli_dirs : string list;     (** scope of M001 *)
+}
+
+val default : t
+(** The repo policy: hot set [eventqueue sim link qdisc switch wire],
+    D001/T201 over [lib] and [bin], [lib/telemetry] exempt from T201,
+    [rng] may use [Random], [.mli] required under [lib]. *)
+
+val basename_no_ext : string -> string
+val in_dirs : string -> string list -> bool
+
+val is_hot : t -> string -> bool
+val is_rng : t -> string -> bool
+val d001_applies : t -> string -> bool
+val t201_applies : t -> string -> bool
+val mli_required : t -> string -> bool
+
+type rule_doc = { id : string; summary : string }
+
+val rules : rule_doc list
+(** Every rule simlint knows, for [--list-rules]. *)
+
+val known_rule : string -> bool

@@ -1,0 +1,185 @@
+(* File discovery, parsing, filtering and the CLI entry point shared
+   by [bin/simlint] and the fixture tests. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+(* Recursive walk under [root]/[dir], depth-first, children visited in
+   sorted order so reports and fixture expectations are stable across
+   filesystems.  Skips _build-style and hidden directories. *)
+let rec walk ~root rel acc =
+  let abs = Filename.concat root rel in
+  if Sys.is_directory abs then
+    Sys.readdir abs |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.length name = 0 || name.[0] = '_' || name.[0] = '.' then
+             acc
+           else walk ~root (rel ^ "/" ^ name) acc)
+         acc
+  else if Filename.check_suffix rel ".ml" || Filename.check_suffix rel ".mli"
+  then rel :: acc
+  else acc
+
+let scan_files ~root ~dirs =
+  List.fold_left
+    (fun acc dir ->
+      let abs = Filename.concat root dir in
+      if Sys.file_exists abs then walk ~root dir acc
+      else failwith (Printf.sprintf "simlint: no such directory %s" abs))
+    [] dirs
+  |> List.sort String.compare
+
+let parse_impl ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+(* M001: a compilation unit under an mli-required dir must ship an
+   interface.  Checked against the scanned file set, not the
+   filesystem, so the rule composes with custom roots in tests. *)
+let missing_mli ~config files =
+  let have_mli =
+    List.filter (fun f -> Filename.check_suffix f ".mli") files
+    |> List.map (fun f -> Filename.chop_suffix f ".mli")
+  in
+  List.filter_map
+    (fun f ->
+      if
+        Filename.check_suffix f ".ml"
+        && Config.mli_required config f
+        && not (List.mem (Filename.chop_suffix f ".ml") have_mli)
+      then
+        Some
+          (Finding.make ~file:f ~line:1 ~rule:"M001"
+             ~msg:
+               "module has no .mli; every lib/ module must declare its \
+                interface")
+      else None)
+    files
+
+let run ?(config = Config.default) ?(allowlist = Allowlist.empty) ~root ~dirs
+    () =
+  match scan_files ~root ~dirs with
+  | exception Failure msg -> Error msg
+  | files ->
+    let ast_findings = ref [] in
+    let errors = ref [] in
+    List.iter
+      (fun file ->
+        if Filename.check_suffix file ".ml" then begin
+          let src = read_file (Filename.concat root file) in
+          match parse_impl ~path:file src with
+          | exception exn ->
+            errors :=
+              Printf.sprintf "%s: parse error (%s)" file
+                (Printexc.to_string exn)
+              :: !errors
+          | structure ->
+            let pragmas = Pragma.scan src in
+            let fs =
+              Rules.check_structure ~config ~file structure
+              |> List.filter (fun (f : Finding.t) ->
+                     not
+                       (Pragma.suppressed pragmas ~line:f.Finding.line
+                          ~rule:f.Finding.rule))
+            in
+            ast_findings := List.rev_append fs !ast_findings
+        end)
+      files;
+    (match !errors with
+    | e :: _ -> Error e
+    | [] ->
+      let all = missing_mli ~config files @ !ast_findings in
+      let kept =
+        List.filter (fun f -> not (Allowlist.suppressed allowlist f)) all
+      in
+      Ok (List.sort Finding.compare kept))
+
+let list_rules () =
+  List.iter
+    (fun (r : Config.rule_doc) -> Printf.printf "%s  %s\n" r.id r.summary)
+    Config.rules
+
+let usage =
+  "usage: simlint [--root DIR] [--allowlist FILE] [--list-rules] [DIR ...]\n\
+   Scans DIR ... (default: lib bin bench) under --root (default: .) and\n\
+   reports policy violations as file:line: [RULE] message.  Exits 0 when\n\
+   clean, 1 on findings, 2 on usage or parse errors.  Suppress a single\n\
+   site with (* simlint: allow RULE — reason *) on the offending or the\n\
+   preceding line; suppress file-wide in the --allowlist file (default:\n\
+   ROOT/simlint.allow when present, format: RULE path[:line])."
+
+let main ?config argv =
+  let root = ref "." in
+  let allowlist_file = ref None in
+  let dirs = ref [] in
+  let list_only = ref false in
+  let bad = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--list-rules" :: rest ->
+      list_only := true;
+      parse rest
+    | "--root" :: v :: rest ->
+      root := v;
+      parse rest
+    | "--allowlist" :: v :: rest ->
+      allowlist_file := Some v;
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      print_endline usage;
+      bad := Some 0
+    | a :: rest ->
+      if String.length a > 0 && a.[0] = '-' then begin
+        Printf.eprintf "simlint: unknown option %s\n%s\n" a usage;
+        bad := Some 2
+      end
+      else begin
+        dirs := a :: !dirs;
+        parse rest
+      end
+  in
+  parse (List.tl (Array.to_list argv));
+  match !bad with
+  | Some code -> code
+  | None ->
+    if !list_only then begin
+      list_rules ();
+      0
+    end
+    else begin
+      let dirs =
+        match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds
+      in
+      let allowlist =
+        let explicit = !allowlist_file in
+        let default_path = Filename.concat !root "simlint.allow" in
+        match explicit with
+        | Some f -> (
+          match Allowlist.load f with
+          | Ok a -> Ok a
+          | Error e -> Error e)
+        | None ->
+          if Sys.file_exists default_path then Allowlist.load default_path
+          else Ok Allowlist.empty
+      in
+      match allowlist with
+      | Error e ->
+        Printf.eprintf "simlint: %s\n" e;
+        2
+      | Ok allowlist -> (
+        match run ?config ~allowlist ~root:!root ~dirs () with
+        | Error e ->
+          Printf.eprintf "simlint: %s\n" e;
+          2
+        | Ok [] -> 0
+        | Ok findings ->
+          List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+          Printf.printf "simlint: %d finding(s)\n" (List.length findings);
+          1)
+    end

@@ -1,0 +1,21 @@
+(** Scanning, filtering and the CLI used by [bin/simlint] and the
+    fixture tests. *)
+
+val scan_files : root:string -> dirs:string list -> string list
+(** All [.ml]/[.mli] files under [root]/[dirs], root-relative, sorted.
+    Raises [Failure] on a missing directory. *)
+
+val run :
+  ?config:Config.t ->
+  ?allowlist:Allowlist.t ->
+  root:string ->
+  dirs:string list ->
+  unit ->
+  (Finding.t list, string) result
+(** Parse every [.ml], apply rules, drop pragma- and
+    allowlist-suppressed findings, add M001, sort.  [Error] carries a
+    parse failure or missing directory. *)
+
+val main : ?config:Config.t -> string array -> int
+(** The simlint CLI: returns the process exit code (0 clean,
+    1 findings, 2 usage/parse error). *)

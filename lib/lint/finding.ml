@@ -1,0 +1,15 @@
+type t = { file : string; line : int; rule : string; msg : string }
+
+let make ~file ~line ~rule ~msg = { file; line; rule; msg }
+
+(* Sort by position first so a run's report reads top-to-bottom per
+   file; the rule id breaks ties when two rules fire on one line. *)
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Stdlib.compare a.line b.line with
+    | 0 -> String.compare a.rule b.rule
+    | c -> c)
+  | c -> c
+
+let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg

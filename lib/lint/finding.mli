@@ -1,0 +1,11 @@
+(** One lint diagnostic: a rule fired at a source position. *)
+
+type t = { file : string; line : int; rule : string; msg : string }
+
+val make : file:string -> line:int -> rule:string -> msg:string -> t
+
+val compare : t -> t -> int
+(** Orders by [(file, line, rule)] so reports are deterministic. *)
+
+val to_string : t -> string
+(** Renders as [file:line: [RULE] message]. *)

@@ -1,0 +1,54 @@
+(* Inline suppressions.  A comment of the form
+
+     (* simlint: allow D001 — reason *)
+
+   suppresses the named rule on the pragma's own line and on the line
+   immediately below it, so it can sit at the end of the offending
+   line or on its own line just above.  The reason text is free-form
+   but expected; a pragma with no reason still parses (the reviewer,
+   not the tool, enforces taste).  Scanning is textual because the
+   OCaml parser discards comments. *)
+
+type t = (int * string) list (* (line, rule) pairs, 1-based *)
+
+let marker = "simlint: allow"
+
+let is_rule_char c =
+  (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+(* First rule token after [marker] in [line], if any. *)
+let rule_after line =
+  let mlen = String.length marker in
+  let llen = String.length line in
+  let rec find i =
+    if i + mlen > llen then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let i = ref start in
+    while !i < llen && line.[!i] = ' ' do incr i done;
+    let j = ref !i in
+    while !j < llen && is_rule_char line.[!j] do incr j done;
+    if !j > !i then Some (String.sub line !i (!j - !i)) else None
+
+let scan src =
+  let out = ref [] in
+  let line = ref 1 in
+  let start = ref 0 in
+  let flush stop =
+    let text = String.sub src !start (stop - !start) in
+    (match rule_after text with
+    | Some rule -> out := (!line, rule) :: !out
+    | None -> ());
+    start := stop + 1;
+    incr line
+  in
+  String.iteri (fun i c -> if c = '\n' then flush i) src;
+  if !start < String.length src then flush (String.length src);
+  List.rev !out
+
+let suppressed t ~line ~rule =
+  List.exists (fun (l, r) -> r = rule && (l = line || l = line - 1)) t

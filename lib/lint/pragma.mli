@@ -1,0 +1,9 @@
+(** Inline suppression pragmas: [(* simlint: allow RULE — reason *)]
+    suppresses [RULE] on the pragma's line and the line below it. *)
+
+type t
+
+val scan : string -> t
+(** Scan raw source text for pragmas. *)
+
+val suppressed : t -> line:int -> rule:string -> bool

@@ -1,0 +1,168 @@
+(* The AST pass.  One traversal per file with an [Ast_iterator]
+   carrying mutable context: a raise-argument depth (H101 tolerates
+   allocation while building an error message) and a telemetry-guard
+   depth (T201 wants emit/registry calls under [if Telemetry.Ctx.on ()
+   then ...]).  Rules are syntactic on the parsetree — no typing
+   environment — which is exactly the right power for repo-policy
+   checks: [Hashtbl.iter] means stdlib's unless someone shadows the
+   module, and shadowing it would deserve a finding anyway. *)
+
+open Parsetree
+open Ast_iterator
+
+type ctx = {
+  file : string;
+  d001 : bool;
+  hot : bool;
+  rng_ok : bool; (* this module is the blessed randomness source *)
+  t201 : bool;
+  mutable raise_depth : int;
+  mutable guard_depth : int;
+  mutable acc : Finding.t list;
+}
+
+let report ctx ~line ~rule ~msg =
+  ctx.acc <- Finding.make ~file:ctx.file ~line ~rule ~msg :: ctx.acc
+
+let line_of (e : expression) = e.pexp_loc.Location.loc_start.Lexing.pos_lnum
+
+(* [Stdlib.Hashtbl.iter] and [Hashtbl.iter] are the same policy
+   target, so drop a leading [Stdlib]. *)
+let path_of_ident txt =
+  match Longident.flatten txt with
+  | "Stdlib" :: rest -> rest
+  | p -> p
+
+let raising_fns = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+let is_raising_fn (f : expression) =
+  match f.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident n; _ } -> List.mem n raising_fns
+  | _ -> false
+
+let is_float_lit (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+(* Does [e]'s subtree mention [Telemetry.Ctx.on]?  Used on [if]
+   conditions, so [Ctx.on () && cheap_filter] still counts as a
+   guard. *)
+let mentions_guard (e : expression) =
+  let found = ref false in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+      match path_of_ident txt with
+      | [ "Telemetry"; "Ctx"; "on" ] | [ "Ctx"; "on" ] -> found := true
+      | _ -> ())
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it e;
+  !found
+
+let check_ident ctx ~line txt =
+  match path_of_ident txt with
+  | [ "Hashtbl"; (("iter" | "fold") as f) ] when ctx.d001 ->
+    report ctx ~line ~rule:"D001"
+      ~msg:
+        (Printf.sprintf
+           "Hashtbl.%s visits bindings in hash order; sort the collected \
+            keys/results or add a pragma explaining order-independence"
+           f)
+  | [ "Sys"; "time" ] | [ "Unix"; ("gettimeofday" | "time") ] ->
+    report ctx ~line ~rule:"D002"
+      ~msg:
+        "wall-clock read in simulation code; use Engine.Sim.now / \
+         Engine.Time instead"
+  | [ "Random"; "self_init" ] ->
+    report ctx ~line ~rule:"D002"
+      ~msg:"Random.self_init seeds from the environment and breaks replay"
+  | "Random" :: _ :: _ when not ctx.rng_ok ->
+    report ctx ~line ~rule:"D002"
+      ~msg:
+        "ambient Random.* outside Engine.Rng; draw from the seeded \
+         Engine.Rng stream"
+  | [ "Printf"; f ] when ctx.hot && ctx.raise_depth = 0 ->
+    report ctx ~line ~rule:"H101"
+      ~msg:
+        (Printf.sprintf
+           "Printf.%s allocates on the hot path (allowed only while \
+            building a raise argument)"
+           f)
+  | ([ "@" ] | [ "List"; "append" ]) when ctx.hot && ctx.raise_depth = 0 ->
+    report ctx ~line ~rule:"H101"
+      ~msg:"list append allocates O(n) on the hot path; use a preallocated \
+            structure or mutate in place"
+  | [ "^" ] when ctx.hot && ctx.raise_depth = 0 ->
+    report ctx ~line ~rule:"H101"
+      ~msg:"string concatenation allocates on the hot path"
+  | [ "Fun"; (("flip" | "negate" | "const") as f) ]
+    when ctx.hot && ctx.raise_depth = 0 ->
+    report ctx ~line ~rule:"H101"
+      ~msg:(Printf.sprintf "Fun.%s builds a capturing closure per call" f)
+  | [ "Telemetry"; "Events"; "emit" ] when ctx.t201 && ctx.guard_depth = 0 ->
+    report ctx ~line ~rule:"T201"
+      ~msg:
+        "Telemetry.Events.emit outside an [if Telemetry.Ctx.on () then] \
+         branch; disabled runs must pay one branch and no allocation"
+  | [ "Telemetry"; "Registry"; f ] when ctx.t201 && ctx.guard_depth = 0 ->
+    report ctx ~line ~rule:"T201"
+      ~msg:
+        (Printf.sprintf
+           "Telemetry.Registry.%s outside an [if Telemetry.Ctx.on () then] \
+            branch"
+           f)
+  | _ -> ()
+
+let iterator ctx =
+  let super = Ast_iterator.default_iterator in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> check_ident ctx ~line:(line_of e) txt
+    | _ -> ());
+    match e.pexp_desc with
+    | Pexp_apply (f, args) when is_raising_fn f ->
+      (* The function ident itself is never a finding; the arguments
+         get H101 amnesty — an error message may allocate. *)
+      ctx.raise_depth <- ctx.raise_depth + 1;
+      List.iter (fun (_, a) -> it.expr it a) args;
+      ctx.raise_depth <- ctx.raise_depth - 1
+    | Pexp_apply
+        ( { pexp_desc =
+              Pexp_ident { txt = Longident.Lident ("=" | "<>" | "==" | "!="); _ };
+            _ },
+          args )
+      when List.exists (fun (_, a) -> is_float_lit a) args ->
+      report ctx ~line:(line_of e) ~rule:"D003"
+        ~msg:
+          "float equality against a literal; compare with an ordering or \
+           pragma an intentional exact sentinel";
+      List.iter (fun (_, a) -> it.expr it a) args
+    | Pexp_ifthenelse (cond, then_, else_) when mentions_guard cond ->
+      it.expr it cond;
+      ctx.guard_depth <- ctx.guard_depth + 1;
+      it.expr it then_;
+      ctx.guard_depth <- ctx.guard_depth - 1;
+      (match else_ with Some e2 -> it.expr it e2 | None -> ())
+    | _ -> super.expr it e
+  in
+  { super with expr }
+
+let check_structure ~config ~file structure =
+  let ctx =
+    { file;
+      d001 = Config.d001_applies config file;
+      hot = Config.is_hot config file;
+      rng_ok = Config.is_rng config file;
+      t201 = Config.t201_applies config file;
+      raise_depth = 0;
+      guard_depth = 0;
+      acc = [] }
+  in
+  let it = iterator ctx in
+  it.structure it structure;
+  List.rev ctx.acc

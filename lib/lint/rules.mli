@@ -1,0 +1,8 @@
+(** The per-file AST pass: runs every syntactic rule (D001, D002,
+    D003, H101, T201) applicable to [file] under [config] over one
+    parsed implementation.  M001 is a filesystem property and lives in
+    {!Driver}. *)
+
+val check_structure :
+  config:Config.t -> file:string -> Parsetree.structure -> Finding.t list
+(** Findings in source order, before pragma/allowlist filtering. *)

@@ -13,19 +13,33 @@ let create () =
 
 (* Removal/restoration is a rare control-plane event (a reconvergence),
    so we rebuild the effective table eagerly and keep the per-packet
-   lookup a single allocation-free Hashtbl hit. *)
+   lookup a single allocation-free Hashtbl hit.  Destinations are
+   rebuilt in sorted order and each live-port array is filtered in
+   place (no list round-trip), so the effective table's layout is a
+   function of the registrations alone. *)
 let rebuild t =
   Hashtbl.reset t.effective;
-  Hashtbl.iter
-    (fun dst ports ->
-      let live =
-        Array.of_list
-          (List.filter
-             (fun p -> not (Hashtbl.mem t.removed p))
-             (Array.to_list ports))
-      in
-      Hashtbl.replace t.effective dst live)
-    t.table
+  let dsts =
+    (* simlint: allow D001 — keys collected then sorted just below *)
+    Hashtbl.fold (fun dst _ acc -> dst :: acc) t.table []
+    |> List.sort compare
+  in
+  List.iter
+    (fun dst ->
+      let ports = Hashtbl.find t.table dst in
+      let live p = not (Hashtbl.mem t.removed p) in
+      let n = Array.fold_left (fun n p -> if live p then n + 1 else n) 0 ports in
+      let out = Array.make n 0 in
+      let j = ref 0 in
+      Array.iter
+        (fun p ->
+          if live p then begin
+            out.(!j) <- p;
+            incr j
+          end)
+        ports;
+      Hashtbl.replace t.effective dst out)
+    dsts
 
 let add t dst port =
   let existing =

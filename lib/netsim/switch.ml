@@ -22,7 +22,9 @@ let create sim ~name ?pool () =
   in
   if Telemetry.Ctx.on () then begin
     let reg = Telemetry.Ctx.metrics () in
+    (* simlint: allow H101 — one-time gauge naming at create, not per packet *)
     let pre = "switch." ^ name ^ "." in
+    (* simlint: allow H101 — one-time gauge naming at create, not per packet *)
     let g n f = Telemetry.Registry.set_gauge reg (pre ^ n) f in
     g "forwarded" (fun () -> float_of_int t.n_forwarded);
     g "dropped" (fun () -> float_of_int t.n_dropped);
@@ -45,8 +47,10 @@ let set_forward t f = t.forward <- Some f
 
 (* Hooks and taps run in registration order; appending at setup time
    avoids the per-packet [List.rev] the old representation needed. *)
+(* simlint: allow H101 — topology wiring, runs once per hook at setup *)
 let add_ingress_hook t hook = t.hooks <- t.hooks @ [ hook ]
 
+(* simlint: allow H101 — topology wiring, runs once per tap at setup *)
 let add_tap t f = t.taps <- t.taps @ [ f ]
 
 let inject t ~port p =

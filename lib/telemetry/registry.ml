@@ -1,8 +1,8 @@
-type counter = { c_name : string; mutable count : int }
+type counter = { mutable count : int }
 
-type gauge = { g_name : string; mutable read : unit -> float }
+type gauge = { mutable read : unit -> float }
 
-type hist = { h_name : string; hist : Stats.Histogram.t }
+type hist = { hist : Stats.Histogram.t }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of hist
 
@@ -20,7 +20,7 @@ let counter t name =
   | Some (Counter c) -> c
   | Some _ -> invalid_arg ("Registry.counter: " ^ name ^ " is not a counter")
   | None ->
-    let c = { c_name = name; count = 0 } in
+    let c = { count = 0 } in
     Hashtbl.add t.tbl name (Counter c);
     c
 
@@ -38,7 +38,7 @@ let set_gauge t name read =
   match Hashtbl.find_opt t.tbl name with
   | Some (Gauge g) -> g.read <- read
   | Some _ -> invalid_arg ("Registry.set_gauge: " ^ name ^ " is not a gauge")
-  | None -> Hashtbl.add t.tbl name (Gauge { g_name = name; read })
+  | None -> Hashtbl.add t.tbl name (Gauge { read })
 
 let histogram t ?(scale = `Linear) ~lo ~hi ~buckets name =
   match Hashtbl.find_opt t.tbl name with
@@ -51,7 +51,7 @@ let histogram t ?(scale = `Linear) ~lo ~hi ~buckets name =
       | `Linear -> Stats.Histogram.create_linear ~lo ~hi ~buckets
       | `Log -> Stats.Histogram.create_log ~lo ~hi ~buckets
     in
-    Hashtbl.add t.tbl name (Histogram { h_name = name; hist });
+    Hashtbl.add t.tbl name (Histogram { hist });
     hist
 
 type row = {
@@ -83,6 +83,7 @@ let hist_fields h =
 (* Sorted by name so exports are deterministic regardless of hash
    order. *)
 let snapshot t =
+  (* simlint: allow D001 — rows are sorted by name below for export *)
   Hashtbl.fold
     (fun name metric acc ->
       let row =

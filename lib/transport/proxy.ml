@@ -1,7 +1,6 @@
 type session = { front : Tcp.conn; up : Tcp.conn }
 
 type t = {
-  stack : Tcp.t;
   relay_cap : int;
   mutable relays : session list;
   mutable relayed : int;
@@ -38,7 +37,7 @@ let create stack ~front_port ~server ~server_port ?front_rcv_buf ?relay_cap
     () =
   let relay_cap = match relay_cap with Some c -> c | None -> max_int / 4 in
   let t =
-    { stack; relay_cap; relays = []; relayed = 0; max_occ = 0;
+    { relay_cap; relays = []; relayed = 0; max_occ = 0;
       n_sessions = 0 }
   in
   Tcp.listen stack ~port:front_port ?rcv_buf:front_rcv_buf (fun front ->

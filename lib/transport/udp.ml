@@ -1,11 +1,4 @@
-type datagram = {
-  src_port : int;
-  dst_port : int;
-  msg_id : int;
-  offset : int;
-  len : int;
-  total : int;
-}
+type datagram = { dst_port : int; msg_id : int; len : int; total : int }
 
 type Netsim.Packet.proto += Udp of datagram
 
@@ -87,7 +80,7 @@ let send t ~dst ~dst_port ~size =
   let rec fragment offset =
     if offset < size then begin
       let len = min t.mtu_payload (size - offset) in
-      let d = { src_port; dst_port; msg_id; offset; len; total = size } in
+      let d = { dst_port; msg_id; len; total = size } in
       let pkt =
         match t.pool with
         | Some pool ->

@@ -1,0 +1,4 @@
+(* Clean fixture: nothing for simlint to object to. *)
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let keys_sorted l = List.sort compare l

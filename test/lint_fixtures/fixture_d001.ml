@@ -1,0 +1,7 @@
+(* D001 fixture: nondeterministic hash-order iteration. *)
+let total tbl =
+  let n = ref 0 in
+  Hashtbl.iter (fun _ v -> n := !n + v) tbl;
+  !n
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,5 @@
+(* D002 fixture: wall clock and ambient randomness. *)
+let wall () = Sys.time ()
+let tod () = Unix.gettimeofday ()
+let reseed () = Random.self_init ()
+let pick n = Random.int n

@@ -1,0 +1,5 @@
+(* D003 fixture: float equality against literals. *)
+let is_zero x = x = 0.0
+let not_one x = x <> 1.5
+let same_box x = x == 2.0
+let fine x = x < 0.5 || x > 1.0

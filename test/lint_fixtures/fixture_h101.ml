@@ -1,0 +1,7 @@
+(* H101 fixture: allocation hazards in a hot-set module. *)
+let shout x = Printf.printf "%d\n" x
+let cat a b = a @ b
+let cat2 a b = List.append a b
+let tag a b = a ^ b
+let flipped f a b = Fun.flip f a b
+let fail_fast n = failwith (Printf.sprintf "bad: %d" n)

@@ -1,0 +1,2 @@
+(* M001 fixture: deliberately ships no .mli. *)
+let interface_free = true

@@ -1,0 +1,6 @@
+(* T201 fixture: telemetry calls outside the Ctx.on guard. *)
+let bad events = Telemetry.Events.emit events
+let bad2 reg f = Telemetry.Registry.set_gauge reg "g" f
+
+let good events =
+  if Telemetry.Ctx.on () then Telemetry.Events.emit events

@@ -1,0 +1,105 @@
+(* simlint fixture suite: every rule must fire at the exact
+   file:line it is seeded at (and nowhere else), pragmas and the
+   allowlist must suppress, and the CLI exit codes must hold.  Runs
+   against test/lint_fixtures/, with a config that scopes the rules to
+   that directory and promotes fixture_h101 into the hot set. *)
+
+let fixture_config =
+  { Lint.Config.hot_modules = [ "fixture_h101" ];
+    d001_dirs = [ "lint_fixtures" ];
+    t201_dirs = [ "lint_fixtures" ];
+    t201_exempt_dirs = [];
+    rng_modules = [];
+    mli_dirs = [ "lint_fixtures" ] }
+
+let run ?allowlist dirs =
+  match
+    Lint.Driver.run ~config:fixture_config ?allowlist ~root:"." ~dirs ()
+  with
+  | Ok findings ->
+    List.map
+      (fun (f : Lint.Finding.t) -> (f.Lint.Finding.file, f.line, f.rule))
+      findings
+  | Error e -> Alcotest.failf "driver error: %s" e
+
+let triple = Alcotest.(list (triple string int string))
+
+let fx name = "lint_fixtures/fixture_" ^ name ^ ".ml"
+
+let expected =
+  [ (fx "d001", 4, "D001"); (fx "d001", 7, "D001");
+    (fx "d002", 2, "D002"); (fx "d002", 3, "D002");
+    (fx "d002", 4, "D002"); (fx "d002", 5, "D002");
+    (fx "d003", 2, "D003"); (fx "d003", 3, "D003");
+    (fx "d003", 4, "D003");
+    (fx "h101", 2, "H101"); (fx "h101", 3, "H101");
+    (fx "h101", 4, "H101"); (fx "h101", 5, "H101");
+    (fx "h101", 6, "H101");
+    (fx "m001", 1, "M001");
+    (fx "pragma", 6, "D001");
+    (fx "t201", 2, "T201"); (fx "t201", 3, "T201") ]
+
+let test_exact_diagnostics () =
+  Alcotest.check triple "rule x line over all fixtures" expected
+    (run [ "lint_fixtures" ])
+
+let test_clean_dir () =
+  Alcotest.check triple "clean fixture yields nothing" []
+    (run [ "lint_fixtures/clean" ])
+
+let test_allowlist_file_wide () =
+  match Lint.Allowlist.parse_string "D002 lint_fixtures/fixture_d002.ml" with
+  | Error e -> Alcotest.failf "allowlist parse: %s" e
+  | Ok allowlist ->
+    let got = run ~allowlist [ "lint_fixtures" ] in
+    Alcotest.check triple "file-wide allow removes every D002"
+      (List.filter (fun (_, _, r) -> r <> "D002") expected)
+      got
+
+let test_allowlist_line_scoped () =
+  match
+    Lint.Allowlist.parse_string
+      "# comment line\nD001 lint_fixtures/fixture_d001.ml:4\n"
+  with
+  | Error e -> Alcotest.failf "allowlist parse: %s" e
+  | Ok allowlist ->
+    let got = run ~allowlist [ "lint_fixtures" ] in
+    Alcotest.check triple "line-scoped allow removes exactly one"
+      (List.filter (fun (f, l, _) -> not (f = fx "d001" && l = 4)) expected)
+      got
+
+let test_allowlist_rejects_garbage () =
+  match Lint.Allowlist.parse_string "D001 too many tokens here" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ()
+
+let main args =
+  Lint.Driver.main ~config:fixture_config (Array.of_list ("simlint" :: args))
+
+let test_exit_codes () =
+  Alcotest.(check int) "findings exit 1" 1 (main [ "lint_fixtures" ]);
+  Alcotest.(check int) "clean exits 0" 0 (main [ "lint_fixtures/clean" ]);
+  Alcotest.(check int) "--list-rules exits 0" 0 (main [ "--list-rules" ]);
+  Alcotest.(check int) "unknown option exits 2" 2 (main [ "--bogus" ]);
+  Alcotest.(check int) "missing directory exits 2" 2 (main [ "no_such_dir" ])
+
+let test_rule_docs_cover_findings () =
+  (* Every rule id the fixtures exercise is documented in
+     --list-rules' source of truth. *)
+  List.iter
+    (fun (_, _, rule) ->
+      if not (Lint.Config.known_rule rule) then
+        Alcotest.failf "rule %s fired but is undocumented" rule)
+    expected
+
+let suite =
+  [ Alcotest.test_case "exact diagnostics" `Quick test_exact_diagnostics;
+    Alcotest.test_case "clean dir" `Quick test_clean_dir;
+    Alcotest.test_case "allowlist file-wide" `Quick test_allowlist_file_wide;
+    Alcotest.test_case "allowlist line-scoped" `Quick
+      test_allowlist_line_scoped;
+    Alcotest.test_case "allowlist rejects garbage" `Quick
+      test_allowlist_rejects_garbage;
+    Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "rules documented" `Quick
+      test_rule_docs_cover_findings ]

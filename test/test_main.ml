@@ -10,4 +10,5 @@ let () =
       ("fault", Test_fault.suite);
       ("workload", Test_workload.suite);
       ("innetwork", Test_innetwork.suite);
-      ("experiments", Test_experiments.suite) ]
+      ("experiments", Test_experiments.suite);
+      ("lint", Test_lint.suite) ]
