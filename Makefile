@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench lint check telemetry-check exhibits extensions sweeps examples clean
+.PHONY: all build test bench bench-parallel lint check telemetry-check exhibits extensions sweeps examples clean
 
 all: build
 
@@ -13,6 +13,14 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Scaling bench: serial vs parallel fig5 sweep on the domain pool.
+# Writes BENCH_parallel.json; fails if the parallel rows differ from
+# the serial rows (determinism).  `--guardrail` additionally fails if
+# parallel is slower than serial beyond noise tolerance — loose on
+# purpose, since CI boxes may expose a single core.
+bench-parallel:
+	dune exec bench/parallel.exe -- --guardrail
+
 # Static analysis: determinism & hot-path policy (see DESIGN.md
 # "Static analysis: simlint" and `simlint --list-rules`).  Exits
 # non-zero on any finding not covered by an inline pragma or
@@ -21,9 +29,12 @@ lint:
 	dune exec bin/simlint.exe -- --root . lib bin bench
 
 # CI gate: full build, the test suite, a quick datapath bench that
-# must produce the allocation/throughput guardrail report, a
-# shortened failover run exercising fault injection end to end, and a
-# telemetry export check (JSONL parses, same-seed runs byte-identical).
+# must produce the allocation/throughput guardrail report, the
+# parallel-runner scaling bench with its not-slower guardrail, a
+# shortened failover run exercising fault injection end to end, a
+# parallel `all --smoke` pass regenerating every exhibit on two
+# domains, and a telemetry export check (JSONL parses, same-seed runs
+# byte-identical).
 check:
 	dune build @all
 	$(MAKE) lint
@@ -31,7 +42,11 @@ check:
 	rm -f BENCH_engine.json
 	dune exec bench/main.exe -- --smoke
 	test -f BENCH_engine.json
+	rm -f BENCH_parallel.json
+	$(MAKE) bench-parallel
+	test -f BENCH_parallel.json
 	dune exec bin/mtp_sim.exe -- failover --duration-ms 16 --fail-ms 5 --detect-ms 3 --restore-ms 11
+	dune exec bin/mtp_sim.exe -- all --smoke --jobs 2 > /dev/null
 	$(MAKE) telemetry-check
 
 # Run one exhibit twice with telemetry export on: the JSONL trace must

@@ -1,0 +1,91 @@
+(* Scaling bench for the multicore experiment runner.
+
+   Runs one fixed sweep — eight fig5 flip points at reduced duration,
+   exactly the embarrassingly parallel grid the evaluation is made of
+   — twice: serially (--jobs 1) and on the domain pool (one worker
+   per core by default, override with --jobs N).  Reports wall times
+   and speedup to stdout and BENCH_parallel.json, and asserts the
+   runner's determinism contract by comparing the two row lists
+   structurally.
+
+   --guardrail additionally enforces the loose CI bound: the parallel
+   run must not be slower than serial beyond a noise tolerance.  (The
+   >= 2x speedup criterion is a dev-machine observation with 4+
+   cores; CI machines may have any core count, including one, where
+   pool and serial paths coincide.) *)
+
+let fixed_flips = [ 64; 96; 128; 192; 256; 384; 768; 1536 ]
+let fixed_duration = Engine.Time.ms 2
+let tolerance = 1.10
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let sweep ~jobs =
+  Experiments.Sweeps.fig5_flip_sweep ~flips_us:fixed_flips
+    ~duration:fixed_duration ~jobs ()
+
+let () =
+  let argv = Sys.argv in
+  let guardrail = Array.exists (( = ) "--guardrail") argv in
+  let jobs =
+    let found = ref (Runner.Pool.default_jobs ()) in
+    Array.iteri
+      (fun i a ->
+        if a = "--jobs" && i + 1 < Array.length argv then
+          found := int_of_string argv.(i + 1))
+      argv;
+    max 1 !found
+  in
+  Printf.printf "== parallel runner scaling (fixed fig5 sweep, %d points) ==\n"
+    (List.length fixed_flips);
+  (* One point of warmup settles allocator/code paths so the serial
+     measurement is not taxed for going first. *)
+  ignore
+    (Experiments.Sweeps.fig5_flip_sweep ~flips_us:[ 96 ]
+       ~duration:fixed_duration ~jobs:1 ());
+  let serial_rows, serial_s = wall (fun () -> sweep ~jobs:1) in
+  Printf.printf "%-24s %8.2f s\n" "serial (--jobs 1)" serial_s;
+  let parallel_rows, parallel_s = wall (fun () -> sweep ~jobs) in
+  Printf.printf "%-24s %8.2f s\n"
+    (Printf.sprintf "parallel (--jobs %d)" jobs)
+    parallel_s;
+  let speedup = serial_s /. Float.max 1e-9 parallel_s in
+  let identical = serial_rows = parallel_rows in
+  Printf.printf "%-24s %8.2fx\n" "speedup" speedup;
+  Printf.printf "%-24s %8s\n" "results identical"
+    (if identical then "yes" else "NO");
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    {|{
+  "sweep": {
+    "points": %d,
+    "duration_ms": 2
+  },
+  "jobs": %d,
+  "serial_s": %.3f,
+  "parallel_s": %.3f,
+  "speedup": %.2f,
+  "results_identical": %b,
+  "guardrail_tolerance": %.2f
+}
+|}
+    (List.length fixed_flips) jobs serial_s parallel_s speedup identical
+    tolerance;
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json\n";
+  if not identical then begin
+    prerr_endline
+      "FAIL: parallel sweep rows differ from serial rows (determinism \
+       contract broken)";
+    exit 1
+  end;
+  if guardrail && parallel_s > serial_s *. tolerance then begin
+    Printf.eprintf
+      "FAIL: parallel wall time %.2fs exceeds serial %.2fs beyond the \
+       %.0f%% tolerance\n"
+      parallel_s serial_s ((tolerance -. 1.0) *. 100.0);
+    exit 1
+  end

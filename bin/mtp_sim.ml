@@ -1,7 +1,12 @@
 (* Command-line harness: regenerate any table or figure of the paper.
 
    `mtp_sim <exhibit> [options]` prints the same rows/series the paper
-   reports; `--series` dumps raw (time, value) rows for plotting. *)
+   reports; `--series` dumps raw (time, value) rows for plotting.
+
+   `--jobs N` runs the parallelizable commands (sweeps, failover,
+   replications, `all`) on N worker domains via Runner.Pool.  The
+   runner's determinism contract makes every byte of output identical
+   for any N; parallelism only buys wall time. *)
 
 open Cmdliner
 open Experiments
@@ -9,6 +14,15 @@ open Experiments
 let dump_series =
   let doc = "Dump every (time_us, value) series row, not just summaries." in
   Arg.(value & flag & info [ "series" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for parallelizable commands (sweeps, failover, \
+     replications, all); 0 picks one per core.  Output is byte-identical \
+     for any value.  Values above 1 refuse $(b,--trace)/$(b,--metrics) \
+     (telemetry is main-domain only)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let seed =
   let doc = "Random seed (experiments are deterministic per seed)." in
@@ -51,9 +65,28 @@ let format_of_ext path jsonl_default =
   else if jsonl_default then `Jsonl
   else `Csv
 
+type opts = { dump : bool; jobs : int }
+
 let output_opts =
   Term.(
-    const (fun dump csv trace metrics ->
+    const (fun dump csv trace metrics jobs ->
+        let jobs = if jobs = 0 then Runner.Pool.default_jobs () else jobs in
+        if jobs < 0 then begin
+          Format.eprintf "mtp_sim: --jobs must be >= 0@.";
+          Stdlib.exit 2
+        end;
+        (* Telemetry's context is a main-domain singleton (one shared
+           event ring, no locks); worker domains would race it, so the
+           combination is refused outright rather than exporting a
+           silently incomplete trace.  See DESIGN.md "Parallel
+           runner". *)
+        if jobs > 1 && (trace <> None || metrics <> None) then begin
+          Format.eprintf
+            "mtp_sim: --trace/--metrics require --jobs 1 (telemetry is \
+             main-domain only; worker domains would race the shared event \
+             ring)@.";
+          Stdlib.exit 2
+        end;
         csv_target := csv;
         if trace <> None || metrics <> None then begin
           Telemetry.Ctx.enable ();
@@ -71,11 +104,11 @@ let output_opts =
                 Format.printf "  wrote %s@." path
               | None -> ())
         end;
-        dump)
-    $ dump_series $ csv_dir $ trace_file $ metrics_file)
+        { dump; jobs })
+    $ dump_series $ csv_dir $ trace_file $ metrics_file $ jobs_arg)
 
-let print_result dump result =
-  Exp_common.print ~dump_series:dump Format.std_formatter result;
+let print_result opts result =
+  Exp_common.print ~dump_series:opts.dump Format.std_formatter result;
   match !csv_target with
   | Some dir ->
     List.iter
@@ -86,14 +119,14 @@ let print_result dump result =
 (* ------------------------------- fig2 ------------------------------ *)
 
 let fig2_cmd =
-  let run dump seed duration rwnd_kb =
+  let run opts seed duration rwnd_kb =
     let config =
       { Fig2_proxy.default with
         Fig2_proxy.seed;
         duration = Engine.Time.ms duration;
         rwnd_limit = rwnd_kb * 1000 }
     in
-    print_result dump (Fig2_proxy.result ~config ())
+    print_result opts (Fig2_proxy.result ~config ())
   in
   let rwnd =
     Arg.(value & opt int 256
@@ -106,7 +139,7 @@ let fig2_cmd =
 (* ------------------------------- fig3 ------------------------------ *)
 
 let fig3_cmd =
-  let run dump seed duration hosts chains =
+  let run opts seed duration hosts chains =
     let config =
       { Fig3_one_rpf.default with
         Fig3_one_rpf.seed;
@@ -114,7 +147,7 @@ let fig3_cmd =
         hosts;
         chains_per_host = chains }
     in
-    print_result dump (Fig3_one_rpf.result ~config ())
+    print_result opts (Fig3_one_rpf.result ~config ())
   in
   let hosts =
     Arg.(value & opt int 4 & info [ "hosts" ] ~doc:"Sender/receiver pairs.")
@@ -130,27 +163,68 @@ let fig3_cmd =
 (* ------------------------------- fig5 ------------------------------ *)
 
 let fig5_cmd =
-  let run dump seed duration flip_us =
+  let run opts seed duration flip_us reps =
     let config =
       { Fig5_multipath.default with
         Fig5_multipath.seed;
         duration = Engine.Time.ms duration;
         flip_interval = Engine.Time.us flip_us }
     in
-    print_result dump (Fig5_multipath.result ~config ())
+    if reps <= 1 then print_result opts (Fig5_multipath.result ~config ())
+    else begin
+      (* Multi-seed replication: the same operating point under [reps]
+         seeds split from --seed, run as parallel jobs. *)
+      let runs =
+        Exp_common.replicate ~jobs:opts.jobs ~seed ~reps (fun ~seed ->
+            Fig5_multipath.run ~config:{ config with Fig5_multipath.seed } ())
+      in
+      let table =
+        Stats.Table.create
+          ~columns:[ "seed"; "DCTCP (Gbps)"; "MTP (Gbps)"; "MTP/DCTCP" ]
+      in
+      List.iter
+        (fun { Exp_common.rep_seed; rep_value = o } ->
+          Stats.Table.add_rowf table "%d | %.1f | %.1f | %.2f" rep_seed
+            o.Fig5_multipath.dctcp_mean o.Fig5_multipath.mtp_mean
+            o.Fig5_multipath.improvement)
+        runs;
+      let mean, stddev =
+        Exp_common.rep_mean_stddev
+          (List.map
+             (fun r -> r.Exp_common.rep_value.Fig5_multipath.improvement)
+             runs)
+      in
+      print_result opts
+        (Exp_common.make
+           ~title:
+             (Printf.sprintf
+                "Fig 5 replicated over %d derived seeds (base %d)" reps seed)
+           ~table
+           ~notes:
+             [ Printf.sprintf "MTP/DCTCP = %.2fx +/- %.2f across seeds" mean
+                 stddev ]
+           ())
+    end
   in
   let flip =
     Arg.(value & opt int 384
          & info [ "flip-us" ] ~doc:"Path alternation period (us).")
   in
+  let reps =
+    Arg.(value & opt int 1
+         & info [ "reps" ]
+             ~doc:
+               "Replicate the run under this many seeds derived from \
+                --seed (parallel jobs; see --jobs).")
+  in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Multipath congestion control under path alternation")
-    Term.(const run $ output_opts $ seed $ duration_ms 8 $ flip)
+    Term.(const run $ output_opts $ seed $ duration_ms 8 $ flip $ reps)
 
 (* ------------------------------- fig6 ------------------------------ *)
 
 let fig6_cmd =
-  let run dump seed duration max_mb load =
+  let run opts seed duration max_mb load =
     let config =
       { Fig6_loadbalance.default with
         Fig6_loadbalance.seed;
@@ -158,7 +232,7 @@ let fig6_cmd =
         max_message = max_mb * 1_000_000;
         load }
     in
-    print_result dump (Fig6_loadbalance.result ~config ())
+    print_result opts (Fig6_loadbalance.result ~config ())
   in
   let max_mb =
     Arg.(value & opt int 16
@@ -176,14 +250,14 @@ let fig6_cmd =
 (* ------------------------------- fig7 ------------------------------ *)
 
 let fig7_cmd =
-  let run dump seed duration sources =
+  let run opts seed duration sources =
     let config =
       { Fig7_isolation.default with
         Fig7_isolation.seed;
         duration = Engine.Time.ms duration;
         tenant2_sources = sources }
     in
-    print_result dump (Fig7_isolation.result ~config ())
+    print_result opts (Fig7_isolation.result ~config ())
   in
   let sources =
     Arg.(value & opt int 8
@@ -196,7 +270,7 @@ let fig7_cmd =
 (* ------------------------------ table1 ----------------------------- *)
 
 let table1_cmd =
-  let run dump = print_result dump (Table1_features.result ()) in
+  let run opts = print_result opts (Table1_features.result ()) in
   Cmd.v
     (Cmd.info "table1" ~doc:"Transport feature matrix with live demos")
     Term.(const run $ output_opts)
@@ -210,15 +284,20 @@ let features_cmd =
 (* ---------------------------- extensions --------------------------- *)
 
 let extensions_cmd =
-  let run dump =
-    print_result dump (Ablation_pathlets.result ());
-    print_result dump (Ablation_algorithms.result ());
-    print_result dump (Ablation_trimming.result ());
-    print_result dump (Ablation_exclusion.result ());
-    print_result dump (Ablation_acks.result ());
-    print_result dump (Header_overhead.result ());
-    print_result dump (Coexistence.result ());
-    print_result dump (Ext_leafspine.result ())
+  let run opts =
+    (* Eight independent exhibits: a job list; collected results print
+       in submission order whatever --jobs is. *)
+    Runner.Pool.map ~jobs:opts.jobs
+      (fun mk -> mk ())
+      [ (fun () -> Ablation_pathlets.result ());
+        (fun () -> Ablation_algorithms.result ());
+        (fun () -> Ablation_trimming.result ());
+        (fun () -> Ablation_exclusion.result ());
+        (fun () -> Ablation_acks.result ());
+        (fun () -> Header_overhead.result ());
+        (fun () -> Coexistence.result ());
+        (fun () -> Ext_leafspine.result ()) ]
+    |> List.iter (print_result opts)
   in
   Cmd.v
     (Cmd.info "extensions"
@@ -231,7 +310,7 @@ let extensions_cmd =
 (* ----------------------------- messaging --------------------------- *)
 
 let messaging_cmd =
-  let run dump seed duration size parallel =
+  let run opts seed duration size parallel =
     let config =
       { Ext_messaging.default with
         Ext_messaging.seed;
@@ -239,7 +318,7 @@ let messaging_cmd =
         msg_size = size;
         parallel }
     in
-    print_result dump (Ext_messaging.result ~config ())
+    print_result opts (Ext_messaging.result ~config ())
   in
   let size =
     Arg.(value & opt int 100_000
@@ -258,7 +337,7 @@ let messaging_cmd =
 (* ----------------------------- failover ---------------------------- *)
 
 let failover_cmd =
-  let run dump seed duration fail_ms detect_ms restore_ms =
+  let run opts seed duration fail_ms detect_ms restore_ms =
     let scale ms = Engine.Time.ms ms in
     let config =
       { Ext_failover.default with
@@ -268,7 +347,7 @@ let failover_cmd =
         detect = scale detect_ms;
         t_restore = scale restore_ms }
     in
-    print_result dump (Ext_failover.result ~config ())
+    print_result opts (Ext_failover.result ~jobs:opts.jobs ~config ())
   in
   let fail_ms =
     Arg.(value & opt int 10
@@ -293,9 +372,9 @@ let failover_cmd =
 (* ------------------------------ sweeps ----------------------------- *)
 
 let sweeps_cmd =
-  let run dump =
-    print_result dump (Sweeps.fig5_result ());
-    print_result dump (Sweeps.fig6_result ())
+  let run opts =
+    print_result opts (Sweeps.fig5_result ~jobs:opts.jobs ());
+    print_result opts (Sweeps.fig6_result ~jobs:opts.jobs ())
   in
   Cmd.v
     (Cmd.info "sweeps"
@@ -307,17 +386,73 @@ let sweeps_cmd =
 (* -------------------------------- all ------------------------------ *)
 
 let all_cmd =
-  let run dump =
-    print_result dump (Table1_features.result ());
-    print_result dump (Fig2_proxy.result ());
-    print_result dump (Fig3_one_rpf.result ());
-    print_result dump (Fig5_multipath.result ());
-    print_result dump (Fig6_loadbalance.result ());
-    print_result dump (Fig7_isolation.result ())
+  let run opts smoke =
+    (* Every figure and table of the repo in one invocation, as one
+       job list on the runner: each exhibit is a closed job returning
+       its result; printing happens afterwards on the main domain, in
+       submission order.  `--jobs N` divides the wall time by ~N with
+       byte-identical output.  `--smoke` shortens the long-running
+       exhibits (fig6, failover, both sweeps) so CI can exercise the
+       whole pipeline in about a minute; publication runs omit it. *)
+    let fig6_config =
+      if smoke then
+        Some
+          { Fig6_loadbalance.default with
+            Fig6_loadbalance.duration = Engine.Time.ms 20 }
+      else None
+    and failover_config =
+      if smoke then
+        Some
+          { Ext_failover.default with
+            Ext_failover.t_fail = Engine.Time.ms 5;
+            detect = Engine.Time.ms 3;
+            t_restore = Engine.Time.ms 11;
+            duration = Engine.Time.ms 16 }
+      else None
+    and sweep5_duration =
+      if smoke then Some (Engine.Time.ms 2) else None
+    and sweep6_duration =
+      if smoke then Some (Engine.Time.ms 16) else None
+    in
+    let exhibits : (unit -> Exp_common.result) list =
+      [ (fun () -> Table1_features.result ());
+        (fun () -> Fig2_proxy.result ());
+        (fun () -> Fig3_one_rpf.result ());
+        (fun () -> Fig5_multipath.result ());
+        (fun () -> Fig6_loadbalance.result ?config:fig6_config ());
+        (fun () -> Fig7_isolation.result ());
+        (fun () -> Ablation_pathlets.result ());
+        (fun () -> Ablation_algorithms.result ());
+        (fun () -> Ablation_trimming.result ());
+        (fun () -> Ablation_exclusion.result ());
+        (fun () -> Ablation_acks.result ());
+        (fun () -> Header_overhead.result ());
+        (fun () -> Coexistence.result ());
+        (fun () -> Ext_leafspine.result ());
+        (fun () -> Ext_messaging.result ());
+        (fun () -> Ext_failover.result ?config:failover_config ());
+        (fun () -> Sweeps.fig5_result ?duration:sweep5_duration ());
+        (fun () -> Sweeps.fig6_result ?duration:sweep6_duration ()) ]
+    in
+    Runner.Pool.map ~jobs:opts.jobs (fun mk -> mk ()) exhibits
+    |> List.iter (print_result opts)
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Shorten the long-running exhibits so the full pipeline \
+             completes quickly (CI smoke); numbers are not \
+             publication-scale.")
   in
   Cmd.v
-    (Cmd.info "all" ~doc:"Run every exhibit with default configurations")
-    Term.(const run $ output_opts)
+    (Cmd.info "all"
+       ~doc:
+         "Regenerate every figure and table (main exhibits, ablations, \
+          extensions, sweeps) in one invocation; combine with --jobs N \
+          for a parallel run with byte-identical output")
+    Term.(const run $ output_opts $ smoke_arg)
 
 let () =
   let info =

@@ -14,6 +14,19 @@ val split : t -> t
 (** [split t] is a new generator whose stream is independent of the
     future of [t] (it is seeded from [t]'s next output). *)
 
+val derive : t -> int -> t
+(** [derive t i] is the [i]-th child stream of [t]'s current state
+    ([i >= 0]).  Unlike {!split} it does not advance [t]: the family
+    [derive t 0 .. derive t (n-1)] is a pure function of [t]'s state,
+    so per-job seeds drawn from it are identical however (and on
+    whichever domain) the jobs are scheduled.  Distinct indices give
+    independent streams (SplitMix64 golden-gamma spacing, remixed). *)
+
+val as_seed : t -> int
+(** Project the generator's current state to a non-negative [int],
+    for components that take integer seeds ([Sim.create ~seed],
+    experiment configs).  Equal states give equal seeds. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -38,6 +38,29 @@ let print ?(dump_series = false) fmt r =
 let mean_between data ~lo ~hi =
   Stats.Timeseries.mean (Stats.Timeseries.between data ~lo ~hi)
 
+type 'a replication = { rep_seed : int; rep_value : 'a }
+
+(* Multi-seed replication of one experiment: [reps] closed jobs on the
+   parallel runner, seeded by a SplitMix64 split of [seed] by
+   replication index — the seeds (and so every replication) are a
+   pure function of (seed, reps), not of scheduling or [jobs]. *)
+let replicate ?(jobs = 1) ?(seed = 42) ~reps run =
+  if reps < 1 then invalid_arg "Exp_common.replicate: reps must be >= 1";
+  let base = Engine.Rng.create seed in
+  Runner.Pool.map ~jobs
+    (fun i ->
+      let rep_seed = Engine.Rng.as_seed (Engine.Rng.derive base i) in
+      { rep_seed; rep_value = run ~seed:rep_seed })
+    (List.init reps (fun i -> i))
+
+let rep_mean_stddev xs =
+  let n = float_of_int (List.length xs) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. n in
+  let var =
+    List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs /. n
+  in
+  (mean, sqrt var)
+
 let slugify s =
   String.map
     (fun c ->

@@ -31,6 +31,21 @@ val mean_between :
   Stats.Timeseries.t -> lo:Engine.Time.t -> hi:Engine.Time.t -> float
 (** Mean series value within a window (steady-state extraction). *)
 
+type 'a replication = { rep_seed : int; rep_value : 'a }
+
+val replicate :
+  ?jobs:int -> ?seed:int -> reps:int -> (seed:int -> 'a) ->
+  'a replication list
+(** [replicate ~jobs ~seed ~reps run] runs [run] under [reps]
+    distinct seeds derived from [seed] by a SplitMix64 stream split
+    ({!Engine.Rng.derive} — not [seed + i] arithmetic), as closed
+    jobs on the parallel runner.  Replications return in index order
+    and are byte-identical for any [jobs].  Raises [Invalid_argument]
+    when [reps < 1]. *)
+
+val rep_mean_stddev : float list -> float * float
+(** Population mean and standard deviation of a replication metric. *)
+
 val write_csv : dir:string -> result -> string list
 (** Write each series of the result to [dir/<slug>.csv] as
     [time_us,value] rows (creating [dir] if needed) and the table, if

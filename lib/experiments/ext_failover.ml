@@ -193,14 +193,19 @@ let measure cfg label series =
 
 type output = { schemes : scheme list }
 
-let run ?(config = default) () =
+(* The four schemes face the same topology, load and fault plan but
+   are otherwise independent simulations — a natural job list for the
+   parallel runner.  The runner merges in key (= scheme) order, so
+   the output is identical for any [jobs]. *)
+let run ?(jobs = 1) ?(config = default) () =
   { schemes =
-      [ measure config "TCP" (run_tcp config);
-        measure config "DCTCP" (run_dctcp config);
-        measure config "MTP (no exclusion)"
-          (run_mtp config ~exclusion:false);
-        measure config "MTP (pathlet exclusion)"
-          (run_mtp config ~exclusion:true) ] }
+      Runner.Pool.map ~jobs
+        (fun (label, scheme_run) -> measure config label (scheme_run ()))
+        [ ("TCP", fun () -> run_tcp config);
+          ("DCTCP", fun () -> run_dctcp config);
+          ("MTP (no exclusion)", fun () -> run_mtp config ~exclusion:false);
+          ("MTP (pathlet exclusion)", fun () -> run_mtp config ~exclusion:true)
+        ] }
 
 let recovery_of o label =
   List.find_map
@@ -209,9 +214,9 @@ let recovery_of o label =
 
 let ms t = Engine.Time.to_float_us t /. 1_000.0
 
-let result ?config () =
+let result ?jobs ?config () =
   let cfg = Option.value config ~default in
-  let o = run ?config () in
+  let o = run ?jobs ?config () in
   let table =
     Stats.Table.create
       ~columns:

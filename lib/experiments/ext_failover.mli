@@ -44,9 +44,12 @@ type scheme = {
 
 type output = { schemes : scheme list }
 
-val run : ?config:config -> unit -> output
+val run : ?jobs:int -> ?config:config -> unit -> output
+(** The four schemes are closed jobs on the parallel runner; [jobs]
+    (default 1) sets the worker-domain count and the output is
+    byte-identical for any value. *)
 
 val recovery_of : output -> string -> Engine.Time.t option
 (** Recovery time of the scheme with this label, if it recovered. *)
 
-val result : ?config:config -> unit -> Exp_common.result
+val result : ?jobs:int -> ?config:config -> unit -> Exp_common.result

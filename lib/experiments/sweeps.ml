@@ -5,21 +5,30 @@ type fig5_row = {
   ratio : float;
 }
 
+(* Every sweep point is a closed job: its own config, its own [Sim],
+   and a seed derived from the base seed by stream index — a proper
+   SplitMix64 split, not [seed + i] arithmetic — so the point seeds
+   are a pure function of (seed, index) and the rows come back in
+   point order whatever [jobs] is. *)
+let point_seed ~seed i = Engine.Rng.as_seed (Engine.Rng.derive (Engine.Rng.create seed) i)
+
+let indexed xs = List.mapi (fun i x -> (i, x)) xs
+
 let fig5_flip_sweep ?(flips_us = [ 96; 192; 384; 768; 1536 ])
-    ?(duration = Engine.Time.ms 6) ?(seed = 42) () =
-  List.map
-    (fun flip_us ->
+    ?(duration = Engine.Time.ms 6) ?(seed = 42) ?(jobs = 1) () =
+  Runner.Pool.map ~jobs
+    (fun (i, flip_us) ->
       let config =
         { Fig5_multipath.default with
           Fig5_multipath.flip_interval = Engine.Time.us flip_us;
           duration;
-          seed }
+          seed = point_seed ~seed i }
       in
       let o = Fig5_multipath.run ~config () in
       { flip_us; dctcp_gbps = o.Fig5_multipath.dctcp_mean;
         mtp_gbps = o.Fig5_multipath.mtp_mean;
         ratio = o.Fig5_multipath.improvement })
-    flips_us
+    (indexed flips_us)
 
 type fig6_row = {
   load : float;
@@ -32,15 +41,15 @@ type fig6_row = {
 }
 
 let fig6_load_sweep ?(loads = [ 0.3; 0.5; 0.7 ])
-    ?(duration = Engine.Time.ms 80) ?(seed = 42) () =
-  List.map
-    (fun load ->
+    ?(duration = Engine.Time.ms 80) ?(seed = 42) ?(jobs = 1) () =
+  Runner.Pool.map ~jobs
+    (fun (i, load) ->
       let config =
         { Fig6_loadbalance.default with
           Fig6_loadbalance.load;
           duration;
           max_message = 8_000_000;
-          seed }
+          seed = point_seed ~seed i }
       in
       let o = Fig6_loadbalance.run ~config () in
       { load;
@@ -50,10 +59,10 @@ let fig6_load_sweep ?(loads = [ 0.3; 0.5; 0.7 ])
         spray_p99_us = o.Fig6_loadbalance.spray.Fig6_loadbalance.fct_p99_us;
         mtp_p50_us = o.Fig6_loadbalance.mtp.Fig6_loadbalance.fct_p50_us;
         mtp_p99_us = o.Fig6_loadbalance.mtp.Fig6_loadbalance.fct_p99_us })
-    loads
+    (indexed loads)
 
-let fig5_result () =
-  let rows = fig5_flip_sweep () in
+let fig5_result ?flips_us ?duration ?seed ?jobs () =
+  let rows = fig5_flip_sweep ?flips_us ?duration ?seed ?jobs () in
   let table =
     Stats.Table.create
       ~columns:
@@ -76,8 +85,8 @@ let fig5_result () =
           fastest.ratio fastest.flip_us slowest.ratio slowest.flip_us ]
     ()
 
-let fig6_result () =
-  let rows = fig6_load_sweep () in
+let fig6_result ?loads ?duration ?seed ?jobs () =
+  let rows = fig6_load_sweep ?loads ?duration ?seed ?jobs () in
   let table =
     Stats.Table.create
       ~columns:

@@ -9,7 +9,13 @@
       time, and vanishes when flips are slow;
     - {!fig6_load_sweep}: the gap between message-aware placement and
       ECMP/spraying widens with offered load, spraying degrading
-      fastest (reordering costs scale with queueing). *)
+      fastest (reordering costs scale with queueing).
+
+    Every sweep point is a closed job on the parallel runner: [jobs]
+    (default 1) sets the worker-domain count, the point seeds are a
+    SplitMix64 split of [seed] by point index ([Engine.Rng.derive]),
+    and the rows come back in point order — byte-identical output for
+    any [jobs]. *)
 
 type fig5_row = {
   flip_us : int;
@@ -19,8 +25,8 @@ type fig5_row = {
 }
 
 val fig5_flip_sweep :
-  ?flips_us:int list -> ?duration:Engine.Time.t -> ?seed:int -> unit ->
-  fig5_row list
+  ?flips_us:int list -> ?duration:Engine.Time.t -> ?seed:int -> ?jobs:int ->
+  unit -> fig5_row list
 
 type fig6_row = {
   load : float;
@@ -33,9 +39,13 @@ type fig6_row = {
 }
 
 val fig6_load_sweep :
-  ?loads:float list -> ?duration:Engine.Time.t -> ?seed:int -> unit ->
-  fig6_row list
+  ?loads:float list -> ?duration:Engine.Time.t -> ?seed:int -> ?jobs:int ->
+  unit -> fig6_row list
 
-val fig5_result : unit -> Exp_common.result
+val fig5_result :
+  ?flips_us:int list -> ?duration:Engine.Time.t -> ?seed:int -> ?jobs:int ->
+  unit -> Exp_common.result
 
-val fig6_result : unit -> Exp_common.result
+val fig6_result :
+  ?loads:float list -> ?duration:Engine.Time.t -> ?seed:int -> ?jobs:int ->
+  unit -> Exp_common.result

@@ -51,9 +51,10 @@ let rules =
          modules collect-and-sort (then pragma the fold) or iterate keyed" };
     { id = "D002";
       summary =
-        "wall clock (Sys.time, Unix.gettimeofday/time) and ambient \
-         randomness (Random.* outside Engine.Rng, Random.self_init \
-         anywhere) break seeded replay" };
+        "wall clock (Sys.time, Unix.gettimeofday/time), ambient randomness \
+         (Random.* outside Engine.Rng, Random.self_init anywhere) and \
+         Domain.self ()-dependent branching break seeded, \
+         scheduling-independent replay" };
     { id = "D003";
       summary =
         "float equality (=, <>, ==, !=) against a float literal is \

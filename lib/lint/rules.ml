@@ -81,6 +81,12 @@ let check_ident ctx ~line txt =
   | [ "Random"; "self_init" ] ->
     report ctx ~line ~rule:"D002"
       ~msg:"Random.self_init seeds from the environment and breaks replay"
+  | [ "Domain"; "self" ] ->
+    report ctx ~line ~rule:"D002"
+      ~msg:
+        "Domain.self ()-dependent branching varies with runner scheduling; \
+         behavior must be domain-independent (pragma guard/pool internals \
+         with a reason)"
   | "Random" :: _ :: _ when not ctx.rng_ok ->
     report ctx ~line ~rule:"D002"
       ~msg:

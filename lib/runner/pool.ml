@@ -1,0 +1,98 @@
+(* Deterministic multicore job runner.
+
+   The evaluation is a grid of independent seeded simulations — sweep
+   points, multi-seed replications, whole exhibits — i.e. closed jobs:
+   every job builds its own [Sim], draws from its own derived seed and
+   returns a value; no job touches another's state.  That makes the
+   grid embarrassingly parallel, and the only thing a runner must add
+   on top of [Domain.spawn] is a *determinism contract*:
+
+     the returned list is a function of the job list alone —
+     merged in key order, independent of worker count, scheduling
+     or which domain ran which job.
+
+   Workers pull job indices from one atomic counter (work stealing in
+   its simplest form: contention is one fetch-and-add per job, and job
+   granularity here is milliseconds of simulation, not nanoseconds).
+   Each result lands in a dedicated slot of a pre-sized array, so
+   slots are written by exactly one domain and published to the main
+   domain by [Domain.join]'s happens-before edge.  Exceptions are
+   captured per job and re-raised after the pool drains — the one
+   from the smallest key, so failures are as reproducible as
+   results. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'a outcome = Value of 'a | Raised of exn
+
+let run ?jobs jobs_list =
+  let arr = Array.of_list jobs_list in
+  let n = Array.length arr in
+  let requested = match jobs with Some j -> j | None -> default_jobs () in
+  if requested < 1 then
+    invalid_arg "Runner.Pool.run: jobs must be >= 1 (0 means auto only at \
+                 the CLI)";
+  let workers = max 1 (min requested n) in
+  let slots = Array.make n None in
+  let execute i =
+    let key, work = arr.(i) in
+    let outcome = try Value (work ()) with e -> Raised e in
+    slots.(i) <- Some (key, outcome)
+  in
+  if workers = 1 then
+    (* Serial path: no domains at all, so [~jobs:1] behaves exactly
+       like a plain [List.map] (and keeps single-core CI runs free of
+       spawn overhead). *)
+    for i = 0 to n - 1 do
+      execute i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          execute i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned
+  end;
+  let keyed =
+    Array.to_list
+      (Array.mapi
+         (fun i slot ->
+           match slot with
+           | Some (key, outcome) -> (key, i, outcome)
+           | None ->
+             (* Unreachable: every index below [n] is claimed exactly
+                once before the counter passes it. *)
+             assert false)
+         slots)
+  in
+  (* Key order, submission order breaking ties — scheduling never
+     enters the comparison. *)
+  let sorted =
+    List.sort
+      (fun (k1, i1, _) (k2, i2, _) ->
+        match compare (k1 : int) k2 with 0 -> compare (i1 : int) i2 | c -> c)
+      keyed
+  in
+  (match
+     List.find_map
+       (function _, _, Raised e -> Some e | _, _, Value _ -> None)
+       sorted
+   with
+  | Some e -> raise e
+  | None -> ());
+  List.map
+    (fun (key, _, outcome) ->
+      match outcome with Value v -> (key, v) | Raised _ -> assert false)
+    sorted
+
+let map ?jobs f xs =
+  List.map snd (run ?jobs (List.mapi (fun i x -> (i, fun () -> f x)) xs))

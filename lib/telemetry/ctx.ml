@@ -9,14 +9,35 @@ let global =
   { enabled = false; ev = Events.create ~capacity:1 ();
     reg = Registry.create (); runs = [] }
 
-(* The one branch every instrumented hot path takes. *)
-let on () = global.enabled
+(* The context is a main-domain singleton: one shared ring and
+   registry, no locks.  Worker domains of the parallel runner
+   (Runner.Pool) run whole simulations concurrently, and letting them
+   emit into the shared ring would race both the ring cursor and the
+   registry tables.  The guard is by domain id: telemetry observed
+   off the main domain is silently off ([on] is the single branch
+   every instrumented site takes), and enabling it there is a
+   programming error that raises.  This module loads on the main
+   domain (libraries initialize before any [Domain.spawn]), so the id
+   captured here is the right anchor. *)
+let main_domain = (Domain.self () :> int) (* simlint: allow D002 — anchor for the main-domain guard, not a behavior branch *)
+
+let on_main () = (Domain.self () :> int) = main_domain (* simlint: allow D002 — the guard itself: telemetry must refuse worker domains *)
+
+(* The one branch every instrumented hot path takes.  With telemetry
+   disabled this short-circuits on the flag load alone, so the PR-1
+   words/op guardrails are untouched; the domain check costs one
+   noalloc primitive call and only on enabled runs. *)
+let on () = global.enabled && on_main ()
 
 let events () = global.ev
 
 let metrics () = global.reg
 
 let enable ?(events_capacity = 65_536) () =
+  if not (on_main ()) then
+    failwith
+      "Telemetry.Ctx.enable: telemetry is main-domain only (worker domains \
+       would race the shared event ring; run with --jobs 1)";
   if not global.enabled then begin
     global.ev <- Events.create ~capacity:events_capacity ();
     global.reg <- Registry.create ();
@@ -38,7 +59,7 @@ let reset () =
   end
 
 let mark_run label =
-  if global.enabled then
+  if on () then
     global.runs <- (label, Registry.snapshot global.reg) :: global.runs
 
 let runs () = List.rev global.runs

@@ -1,11 +1,18 @@
 (** The process-wide telemetry context.
 
-    Simulations here are single threaded and run one at a time, so one
-    global context serves every layer without threading a handle
+    One global context serves every layer without threading a handle
     through each constructor.  It is disabled by default: an
     instrumented hot path pays exactly one branch ({!on}) and performs
     no allocation, registration or event emission — the PR-1 bench
     guardrails hold with telemetry off.
+
+    The context is {b main-domain only}.  The parallel runner
+    ([Runner.Pool]) executes whole simulations on worker domains, and
+    a shared unlocked ring cannot accept concurrent emitters: {!on}
+    therefore answers [false] off the main domain (instrumented sites
+    simply skip), {!mark_run} is a no-op there, and {!enable} raises.
+    [mtp_sim] enforces the corresponding CLI contract by refusing
+    [--trace]/[--metrics] combined with [--jobs > 1].
 
     Typical use (what [mtp_sim --trace/--metrics] does): {!enable}
     before building the simulation, run, then hand {!events} and
@@ -13,7 +20,8 @@
 
 val on : unit -> bool
 (** Fast guard for instrumentation sites:
-    [if Ctx.on () then Events.emit (Ctx.events ()) ...]. *)
+    [if Ctx.on () then Events.emit (Ctx.events ()) ...].
+    Always [false] off the main domain, whatever the enabled state. *)
 
 val events : unit -> Events.t
 
@@ -21,7 +29,8 @@ val metrics : unit -> Registry.t
 
 val enable : ?events_capacity:int -> unit -> unit
 (** Switch telemetry on with a fresh event ring (default capacity
-    65536) and registry.  No-op when already enabled. *)
+    65536) and registry.  No-op when already enabled.  Raises
+    [Failure] when called off the main domain. *)
 
 val disable : unit -> unit
 (** Stop collection; retained events and metric values survive for

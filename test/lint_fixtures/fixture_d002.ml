@@ -3,3 +3,4 @@ let wall () = Sys.time ()
 let tod () = Unix.gettimeofday ()
 let reseed () = Random.self_init ()
 let pick n = Random.int n
+let who () = (Domain.self () :> int)

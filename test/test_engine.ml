@@ -54,6 +54,42 @@ let test_rng_split_independent () =
   let c = Rng.split a in
   checkb "split diverges from parent" true (Rng.bits64 a <> Rng.bits64 c)
 
+let test_rng_derive_pure () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  ignore (Rng.derive a 7);
+  ignore (Rng.derive a 0);
+  Alcotest.(check int64) "derive does not advance the parent" (Rng.bits64 b)
+    (Rng.bits64 a)
+
+let test_rng_derive_pinned () =
+  (* Regression pins: derived streams seed sweep points and
+     replications, so their values are part of the output contract —
+     a change here silently reseeds every sweep. *)
+  let base = Rng.create 42 in
+  let first i = Rng.bits64 (Rng.derive base i) in
+  Alcotest.(check int64) "child 0 first output" 0x33d3b3229fe0c44dL (first 0);
+  Alcotest.(check int64) "child 1 first output" 0x39ed6dff09e09a94L (first 1);
+  Alcotest.(check int64) "child 2 first output" 0x144a558f91ab79caL (first 2);
+  Alcotest.(check int64) "child 3 first output" 0x99855629a846f58fL (first 3);
+  Alcotest.(check int) "as_seed child 0" 2320198762179089453
+    (Rng.as_seed (Rng.derive base 0));
+  Alcotest.(check int) "as_seed child 7" 648424132121196736
+    (Rng.as_seed (Rng.derive base 7))
+
+let test_rng_derive_distinct () =
+  let base = Rng.create 1 in
+  let seen = ref [] in
+  for i = 0 to 63 do
+    seen := Rng.bits64 (Rng.derive base i) :: !seen
+  done;
+  let parent_next = Rng.bits64 (Rng.create 1) in
+  checkb "64 children all distinct" true
+    (List.length (List.sort_uniq compare !seen) = 64);
+  checkb "children differ from the parent stream" true
+    (not (List.mem parent_next !seen));
+  checkb "as_seed is non-negative" true
+    (Rng.as_seed (Rng.derive base 5) >= 0)
+
 let test_rng_float_range () =
   let rng = Rng.create 11 in
   for _ = 1 to 10_000 do
@@ -385,6 +421,9 @@ let suite =
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng seeds" `Quick test_rng_seed_sensitivity;
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng derive pure" `Quick test_rng_derive_pure;
+    Alcotest.test_case "rng derive pinned" `Quick test_rng_derive_pinned;
+    Alcotest.test_case "rng derive distinct" `Quick test_rng_derive_distinct;
     Alcotest.test_case "rng float range" `Quick test_rng_float_range;
     Alcotest.test_case "rng int range" `Quick test_rng_int_range;
     Alcotest.test_case "rng exponential mean" `Quick test_rng_exponential_mean;

@@ -30,6 +30,7 @@ let expected =
   [ (fx "d001", 4, "D001"); (fx "d001", 7, "D001");
     (fx "d002", 2, "D002"); (fx "d002", 3, "D002");
     (fx "d002", 4, "D002"); (fx "d002", 5, "D002");
+    (fx "d002", 6, "D002");
     (fx "d003", 2, "D003"); (fx "d003", 3, "D003");
     (fx "d003", 4, "D003");
     (fx "h101", 2, "H101"); (fx "h101", 3, "H101");

@@ -9,6 +9,7 @@ let () =
       ("mtp", Test_mtp.suite);
       ("fault", Test_fault.suite);
       ("workload", Test_workload.suite);
+      ("runner", Test_runner.suite);
       ("innetwork", Test_innetwork.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite) ]

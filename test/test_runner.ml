@@ -1,0 +1,146 @@
+(* The parallel runner's determinism contract, unit-level and
+   end-to-end.
+
+   Unit: results merge in key order whatever the worker count,
+   exceptions surface deterministically, edge shapes (empty list, more
+   workers than work) hold.
+
+   End-to-end (the jobs-invariance tests): the fig5/fig6 sweeps, the
+   failover experiment and multi-seed replication must produce
+   byte-identical printed output — and identical CSV exports — at
+   [~jobs:1] and [~jobs:4].  These run the real exhibits at reduced
+   scale on real domains. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------ unit ------------------------------- *)
+
+let test_map_order () =
+  let xs = List.init 50 (fun i -> i) in
+  Alcotest.(check (list int))
+    "map preserves input order"
+    (List.map (fun x -> (x * x) + 1) xs)
+    (Runner.Pool.map ~jobs:4 (fun x -> (x * x) + 1) xs)
+
+let test_run_key_order () =
+  Alcotest.(check (list (pair int string)))
+    "results sorted by key, not completion"
+    [ (1, "a"); (2, "b"); (3, "c"); (5, "e") ]
+    (Runner.Pool.run ~jobs:3
+       [ (5, fun () -> "e"); (1, fun () -> "a"); (3, fun () -> "c");
+         (2, fun () -> "b") ])
+
+let test_edge_shapes () =
+  checki "more workers than work" 3
+    (List.length (Runner.Pool.map ~jobs:16 (fun x -> x) [ 1; 2; 3 ]));
+  checki "empty job list" 0
+    (List.length (Runner.Pool.map ~jobs:4 (fun x -> x) []));
+  checkb "jobs 0 rejected" true
+    (match Runner.Pool.run ~jobs:0 [ (0, fun () -> ()) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+exception Boom of int
+
+let test_exception_deterministic () =
+  (* Two failing jobs; whatever the schedule, the smallest failing
+     key's exception is the one that surfaces. *)
+  for jobs = 1 to 4 do
+    match
+      Runner.Pool.run ~jobs
+        [ (4, fun () -> raise (Boom 4)); (0, fun () -> 0);
+          (2, fun () -> raise (Boom 2)); (1, fun () -> 1) ]
+    with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom k -> checki "smallest failing key wins" 2 k
+  done
+
+(* ------------------------- jobs invariance ------------------------- *)
+
+let print_to_string result =
+  Format.asprintf "%a"
+    (fun fmt r -> Experiments.Exp_common.print ~dump_series:true fmt r)
+    result
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* Write the result's CSV exports into [dir], snapshot
+   (basename, contents) pairs, clean up. *)
+let csv_snapshot dir result =
+  let paths = Experiments.Exp_common.write_csv ~dir result in
+  let snap =
+    List.sort compare
+      (List.map (fun p -> (Filename.basename p, read_file p)) paths)
+  in
+  List.iter Sys.remove paths;
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  snap
+
+let check_invariant name make_result =
+  let r1 = make_result ~jobs:1 and r4 = make_result ~jobs:4 in
+  Alcotest.(check string)
+    (name ^ ": printed output byte-identical at jobs 1 and 4")
+    (print_to_string r1) (print_to_string r4);
+  Alcotest.(check (list (pair string string)))
+    (name ^ ": CSV exports identical at jobs 1 and 4")
+    (csv_snapshot ("_jobs_inv_1_" ^ name) r1)
+    (csv_snapshot ("_jobs_inv_4_" ^ name) r4)
+
+let test_fig5_sweep_invariant () =
+  check_invariant "fig5-sweep" (fun ~jobs ->
+      Experiments.Sweeps.fig5_result ~flips_us:[ 192; 768 ]
+        ~duration:(Engine.Time.ms 1) ~jobs ())
+
+let test_fig6_sweep_invariant () =
+  check_invariant "fig6-sweep" (fun ~jobs ->
+      Experiments.Sweeps.fig6_result ~loads:[ 0.3; 0.5 ]
+        ~duration:(Engine.Time.ms 4) ~jobs ())
+
+let test_failover_invariant () =
+  let config =
+    { Experiments.Ext_failover.default with
+      Experiments.Ext_failover.t_fail = Engine.Time.ms 3;
+      detect = Engine.Time.ms 2;
+      t_restore = Engine.Time.ms 6;
+      duration = Engine.Time.ms 10 }
+  in
+  check_invariant "failover" (fun ~jobs ->
+      Experiments.Ext_failover.result ~jobs ~config ())
+
+let test_replicate_invariant () =
+  let go jobs =
+    Experiments.Exp_common.replicate ~jobs ~seed:42 ~reps:6 (fun ~seed ->
+        seed * 3)
+  in
+  let a = go 1 and b = go 4 in
+  checkb "replications identical at jobs 1 and 4" true (a = b);
+  let seeds = List.map (fun r -> r.Experiments.Exp_common.rep_seed) a in
+  checki "derived seeds all distinct" 6
+    (List.length (List.sort_uniq compare seeds));
+  (* The seed family is pinned (Engine.Rng.derive of base 42); see the
+     engine regression test for the stream pins themselves. *)
+  Alcotest.(check int)
+    "first derived seed" 2320198762179089453 (List.nth seeds 0);
+  Alcotest.(check int)
+    "second derived seed" 4427880381756340272 (List.nth seeds 1)
+
+let suite =
+  [ Alcotest.test_case "map order" `Quick test_map_order;
+    Alcotest.test_case "run key order" `Quick test_run_key_order;
+    Alcotest.test_case "edge shapes" `Quick test_edge_shapes;
+    Alcotest.test_case "deterministic exceptions" `Quick
+      test_exception_deterministic;
+    Alcotest.test_case "fig5 sweep jobs-invariant" `Slow
+      test_fig5_sweep_invariant;
+    Alcotest.test_case "fig6 sweep jobs-invariant" `Slow
+      test_fig6_sweep_invariant;
+    Alcotest.test_case "failover jobs-invariant" `Slow
+      test_failover_invariant;
+    Alcotest.test_case "replicate jobs-invariant" `Quick
+      test_replicate_invariant ]

@@ -314,6 +314,29 @@ let test_ctx_mark_run_labels () =
       let labels = List.map fst (Telemetry.Ctx.runs ()) in
       Alcotest.(check (list string)) "oldest first" [ "dctcp"; "mtp" ] labels)
 
+(* The context is a main-domain singleton: the parallel runner's
+   worker domains must never reach the shared ring.  Off the main
+   domain [on] answers false (instrumented sites skip), [mark_run] is
+   a no-op, and [enable] raises — the chosen behaviour for the
+   telemetry-vs-domains decision (see DESIGN.md "Parallel runner"). *)
+let test_ctx_main_domain_only () =
+  with_ctx (fun () ->
+      checkb "on() true on the main domain" true (Telemetry.Ctx.on ());
+      checkb "on() false on a worker domain" false
+        (Domain.join (Domain.spawn (fun () -> Telemetry.Ctx.on ())));
+      checkb "enable raises on a worker domain" true
+        (Domain.join
+           (Domain.spawn (fun () ->
+                match Telemetry.Ctx.enable () with
+                | () -> false
+                | exception Failure _ -> true)));
+      Telemetry.Ctx.mark_run "on-main";
+      Domain.join
+        (Domain.spawn (fun () -> Telemetry.Ctx.mark_run "off-main"));
+      Alcotest.(check (list string)) "off-main mark_run is a no-op"
+        [ "on-main" ]
+        (List.map fst (Telemetry.Ctx.runs ())))
+
 (* ------------------------------ export ------------------------------ *)
 
 let test_trace_jsonl_parses () =
@@ -467,6 +490,8 @@ let suite =
     Alcotest.test_case "ctx off by default" `Quick test_ctx_disabled_by_default;
     Alcotest.test_case "ctx enable/reset" `Quick test_ctx_enable_reset;
     Alcotest.test_case "ctx run marks" `Quick test_ctx_mark_run_labels;
+    Alcotest.test_case "ctx main-domain only" `Quick
+      test_ctx_main_domain_only;
     Alcotest.test_case "trace jsonl parses" `Quick test_trace_jsonl_parses;
     Alcotest.test_case "trace truncation marker" `Quick
       test_trace_jsonl_reports_truncation;
