@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-parallel lint check telemetry-check exhibits extensions sweeps examples clean
+.PHONY: all build test bench bench-datapath bench-parallel lint check telemetry-check exhibits extensions sweeps examples clean
 
 all: build
 
@@ -12,6 +12,14 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Datapath guardrails: engine event/timer costs, classic packet
+# forwarding, and the batched breath-loop drain vs its classic twin.
+# Writes BENCH_engine.json; `--guardrail` fails on allocation
+# regressions, on the batched drain dropping below 4x the seed's
+# packets/s, or on batching being slower than classic anywhere.
+bench-datapath:
+	dune exec bench/datapath.exe -- --guardrail
 
 # Scaling bench: serial vs parallel fig5 sweep on the domain pool.
 # Writes BENCH_parallel.json; fails if the parallel rows differ from
@@ -40,7 +48,7 @@ check:
 	$(MAKE) lint
 	dune runtest --force
 	rm -f BENCH_engine.json
-	dune exec bench/main.exe -- --smoke
+	$(MAKE) bench-datapath
 	test -f BENCH_engine.json
 	rm -f BENCH_parallel.json
 	$(MAKE) bench-parallel

@@ -9,10 +9,10 @@
    micro-benches (header encode/decode, event queue, qdiscs, congestion
    controllers) that dominate simulation cost.
 
-   Part 3 measures datapath guardrails — events/sec, packets/sec and
-   minor-heap words allocated per simulated event / forwarded packet —
-   and writes them with the pre-refactor baseline to BENCH_engine.json.
-   `--smoke` runs only this part (a few seconds) for CI. *)
+   The datapath guardrails (events/sec, packets/sec, minor-heap words
+   per event / per packet, and the batched breath-loop drain) live in
+   bench/datapath.ml, which writes BENCH_engine.json and enforces the
+   regression bars under `--guardrail`. *)
 
 open Bechamel
 open Toolkit
@@ -281,129 +281,6 @@ let run_benchmarks () =
     (fun (name, est) -> Printf.printf "%-40s %14.1f ns/run\n" name est)
     (List.sort compare rows)
 
-(* ------------------------------------------------------------------ *)
-(* Part 3: datapath guardrails                                          *)
-
-(* Pre-refactor (closure-heap engine, allocating packet path) numbers,
-   measured with the identical drivers below on the growth seed. *)
-let baseline_words_per_event = 18.00
-let baseline_words_per_packet = 74.00
-
-(* Run [f] twice (first run warms up and fixes array sizes), then
-   report (minor words / op, ops / second) for the second run. *)
-let measure f =
-  ignore (f ());
-  Gc.minor ();
-  let w0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
-  let ops = f () in
-  let t1 = Unix.gettimeofday () in
-  let words = Gc.minor_words () -. w0 in
-  (words /. float_of_int ops, float_of_int ops /. (t1 -. t0))
-
-(* A chain of self-scheduling events: the cost of one [Sim.after] plus
-   one dispatch (the app closure itself accounts for a few words). *)
-let datapath_events () =
-  let n = 200_000 in
-  measure (fun () ->
-      let sim = Engine.Sim.create () in
-      let rec tick k =
-        if k > 0 then ignore (Engine.Sim.after sim 10 (fun () -> tick (k - 1)))
-      in
-      tick n;
-      Engine.Sim.run sim;
-      n)
-
-(* One timer object re-armed for every firing: the reusable-timer fast
-   path (no per-occurrence closure or handle allocation). *)
-let datapath_timer () =
-  let n = 200_000 in
-  measure (fun () ->
-      let sim = Engine.Sim.create () in
-      let count = ref 0 in
-      let tm_cell = ref None in
-      let tm =
-        Engine.Sim.timer sim (fun () ->
-            match !tm_cell with
-            | Some tm ->
-              if !count < n then begin
-                incr count;
-                Engine.Sim.arm_after tm 10
-              end
-            | None -> ())
-      in
-      tm_cell := Some tm;
-      Engine.Sim.arm_after tm 10;
-      Engine.Sim.run sim;
-      !count)
-
-(* Steady-state forwarding over a pooled link: one packet on the wire
-   at a time (120 ns serialization at 100G), recycled on delivery. *)
-let datapath_packets () =
-  let n = 100_000 in
-  measure (fun () ->
-      let sim = Engine.Sim.create () in
-      let pool = Netsim.Packet.pool sim in
-      let link =
-        Netsim.Link.create sim ~name:"wire" ~rate:(Engine.Time.gbps 100)
-          ~delay:(Engine.Time.us 1) ~pool ()
-      in
-      let delivered = ref 0 in
-      Netsim.Link.set_dst link (fun pkt ->
-          incr delivered;
-          Netsim.Packet.release pool pkt);
-      let gap = Engine.Time.tx_time ~bytes:1500 ~rate:(Engine.Time.gbps 100) in
-      let sent = ref 0 in
-      ignore @@ Engine.Sim.periodic sim ~interval:gap (fun () ->
-          Netsim.Link.send link
-            (Netsim.Packet.recycle pool ~src:0 ~dst:1 ~size:1500 ());
-          incr sent;
-          !sent < n);
-      Engine.Sim.run sim;
-      !delivered)
-
-let datapath_report () =
-  let ev_words, ev_rate = datapath_events () in
-  let tm_words, tm_rate = datapath_timer () in
-  let pk_words, pk_rate = datapath_packets () in
-  Printf.printf "\n== datapath guardrails ==\n";
-  Printf.printf "%-32s %8.2f words/op %12.0f op/s (baseline %.2f)\n"
-    "sim event (schedule+dispatch)" ev_words ev_rate baseline_words_per_event;
-  Printf.printf "%-32s %8.2f words/op %12.0f op/s\n" "timer re-arm" tm_words
-    tm_rate;
-  Printf.printf "%-32s %8.2f words/op %12.0f op/s (baseline %.2f)\n"
-    "pooled packet forward" pk_words pk_rate baseline_words_per_packet;
-  let oc = open_out "BENCH_engine.json" in
-  Printf.fprintf oc
-    {|{
-  "baseline": {
-    "minor_words_per_event": %.2f,
-    "minor_words_per_packet": %.2f
-  },
-  "current": {
-    "minor_words_per_event": %.2f,
-    "minor_words_per_timer_rearm": %.2f,
-    "minor_words_per_packet": %.2f,
-    "events_per_sec": %.0f,
-    "packets_per_sec": %.0f
-  },
-  "reduction": {
-    "event_words_factor": %.2f,
-    "packet_words_factor": %.2f
-  }
-}
-|}
-    baseline_words_per_event baseline_words_per_packet ev_words tm_words
-    pk_words ev_rate pk_rate
-    (baseline_words_per_event /. Float.max 1e-9 ev_words)
-    (baseline_words_per_packet /. Float.max 1e-9 pk_words);
-  close_out oc;
-  Printf.printf "wrote BENCH_engine.json\n"
-
 let () =
-  if Array.exists (( = ) "--smoke") Sys.argv then datapath_report ()
-  else begin
-    print_exhibits ();
-    run_benchmarks ();
-    datapath_report ()
-  end
+  print_exhibits ();
+  run_benchmarks ()

@@ -634,7 +634,7 @@ let process_data t (header : Wire.t) (pkt : Netsim.Packet.t) =
   let this_ref =
     { Wire.ref_msg = header.Wire.msg_id; ref_pkt = header.Wire.pkt_num }
   in
-  if pkt.Netsim.Packet.trimmed then
+  if Netsim.Packet.trimmed pkt then
     (* NDP-style: the payload is gone; tell the sender immediately. *)
     send_ack t ~dst:src header ~sack:[] ~nack:[ this_ref ]
   else if Hashtbl.mem t.recent_done key then

@@ -55,7 +55,7 @@ let stamp sim link ~path_id ~mode =
       let fb =
         match mode with
         | Ecn_mark threshold -> Feedback.Ecn (depth >= threshold)
-        | Ce_echo -> Feedback.Ecn pkt.Netsim.Packet.ecn_ce
+        | Ce_echo -> Feedback.Ecn (Netsim.Packet.ecn_ce pkt)
         | Queue_depth -> Feedback.Queue (max 0 depth)
         | Delay_report ->
           let queued = inner.Netsim.Qdisc.byte_length () in
@@ -69,7 +69,7 @@ let stamp sim link ~path_id ~mode =
       in
       let header = Wire.add_feedback header path fb in
       let header =
-        if pkt.Netsim.Packet.trimmed then
+        if Netsim.Packet.trimmed pkt then
           Wire.add_feedback header path Feedback.Trimmed
         else header
       in

@@ -64,6 +64,14 @@ let min_time t =
   if t.len = 0 then invalid_arg "Eventqueue.min_time: empty";
   t.times.(0)
 
+let min_value t =
+  if t.len = 0 then invalid_arg "Eventqueue.min_value: empty";
+  t.vals.(0)
+
+let min_seq t =
+  if t.len = 0 then invalid_arg "Eventqueue.min_seq: empty";
+  t.seqs.(0)
+
 let pop_min t =
   if t.len = 0 then invalid_arg "Eventqueue.pop_min: empty";
   let top = t.vals.(0) in

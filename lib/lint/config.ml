@@ -1,5 +1,6 @@
 type t = {
   hot_modules : string list;
+  hot_exempt_dirs : string list;
   d001_dirs : string list;
   t201_dirs : string list;
   t201_exempt_dirs : string list;
@@ -7,12 +8,20 @@ type t = {
   mli_dirs : string list;
 }
 
-(* The hot set mirrors the PR-1 datapath bench: modules on the
-   per-event / per-packet path whose allocation behavior is guarded by
-   BENCH_engine.json.  Matching is by module basename so a future move
-   (say lib/netsim/link.ml -> lib/datapath/link.ml) keeps the rule. *)
+(* The hot set mirrors the datapath bench: modules on the per-event /
+   per-packet path whose allocation behavior is guarded by
+   BENCH_engine.json — including the batched breath-loop modules
+   (pktring carries every burst, node receives them, datapath gates
+   the walk).  Matching is by module basename so a future move (say
+   lib/netsim/link.ml -> lib/datapath/link.ml) keeps the rule. *)
 let default =
-  { hot_modules = [ "eventqueue"; "sim"; "link"; "qdisc"; "switch"; "wire" ];
+  { hot_modules =
+      [ "eventqueue"; "sim"; "link"; "qdisc"; "switch"; "wire"; "pktring";
+        "packet"; "node"; "datapath" ];
+    (* bench/ holds measurement drivers (bench/datapath.ml shares a
+       basename with the hot module it measures); their report printing
+       is not datapath code. *)
+    hot_exempt_dirs = [ "bench" ];
     d001_dirs = [ "lib"; "bin" ];
     t201_dirs = [ "lib"; "bin" ];
     t201_exempt_dirs = [ "lib/telemetry" ];
@@ -33,7 +42,9 @@ let in_dir file dir =
 
 let in_dirs file dirs = List.exists (in_dir file) dirs
 
-let is_hot t file = List.mem (basename_no_ext file) t.hot_modules
+let is_hot t file =
+  List.mem (basename_no_ext file) t.hot_modules
+  && not (in_dirs file t.hot_exempt_dirs)
 let is_rng t file = List.mem (basename_no_ext file) t.rng_modules
 let d001_applies t file = in_dirs file t.d001_dirs
 

@@ -1,0 +1,28 @@
+(** Global datapath configuration for the batched breath-loop.
+
+    Links sample {!enabled} once at creation: a link built while
+    batching is on coalesces per-packet transmit/deliver events into
+    per-burst events (identical packet timing, far fewer heap
+    operations); a link built while it is off runs the classic
+    one-event-per-packet datapath.  Flipping the flag never affects
+    links that already exist. *)
+
+val enabled : unit -> bool
+(** Whether links created now use the batched datapath (default
+    [true]). *)
+
+val set_enabled : bool -> unit
+
+val with_batching : bool -> (unit -> 'a) -> 'a
+(** [with_batching v f] runs [f] with the flag set to [v], restoring
+    the previous value afterwards (exception-safe) — the hook the
+    differential oracle uses to run one scenario both ways. *)
+
+val max_burst : int
+(** Maximum packets one burst plan can ever commit to the wire (the
+    size of the per-link completion-time arrays). *)
+
+val burst_limit : int
+(** The operative per-burst limit: {!max_burst}, optionally clamped
+    down by [MTP_MAX_BURST] in the environment (read once at startup)
+    for debugging and bisection. *)

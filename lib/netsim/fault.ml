@@ -92,16 +92,20 @@ let reroute t routes ~port ~detect link =
    count it here so the audit can subtract injected losses. *)
 let lossy t ~doomed q =
   let injected = ref 0 in
+  let enqueue p =
+    if doomed p then begin
+      incr injected;
+      t.n_loss <- t.n_loss + 1;
+      false
+    end
+    else q.Qdisc.enqueue p
+  in
   { q with
     Qdisc.name = q.Qdisc.name ^ "+fault";
-    enqueue =
-      (fun p ->
-        if doomed p then begin
-          incr injected;
-          t.n_loss <- t.n_loss + 1;
-          false
-        end
-        else q.Qdisc.enqueue p);
+    enqueue;
+    (* Must be rebuilt from the overriding [enqueue], or bursts would
+       bypass the injected losses. *)
+    enqueue_burst = Qdisc.burst_of_enqueue enqueue;
     drops = (fun () -> q.Qdisc.drops () + !injected) }
 
 let gilbert_elliott t ?(p_gb = 0.001) ?(p_bg = 0.1) ?(loss_good = 0.0)

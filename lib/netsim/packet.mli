@@ -27,8 +27,10 @@ type t = {
   mutable size : int;
       (** Total wire size in bytes (headers + payload).  Mutable so
           in-network offloads can mutate data (compression, trimming). *)
-  mutable ecn_ce : bool;  (** Congestion Experienced mark. *)
-  mutable trimmed : bool;  (** Payload removed by an NDP-style qdisc. *)
+  mutable flags : int;
+      (** Per-hop status bits (ECN CE, trimmed) packed in one immediate
+          word; read and set through {!ecn_ce} / {!set_ecn_ce} /
+          {!trimmed} / {!set_trimmed}. *)
   mutable entity : int;
       (** Provenance tag (tenant / traffic class) used by per-entity
           policies; [0] when unused. *)
@@ -40,6 +42,18 @@ type t = {
 
 val none : t
 (** Sentinel used to fill empty pool/ring slots.  Never send it. *)
+
+val ecn_ce : t -> bool
+(** Congestion Experienced mark. *)
+
+val trimmed : t -> bool
+(** Payload removed by an NDP-style qdisc. *)
+
+val set_ecn_ce : t -> unit
+(** Set the CE bit (marks are never cleared in flight). *)
+
+val set_trimmed : t -> unit
+(** Set the trimmed bit (the qdisc also shrinks [size]). *)
 
 val make :
   ?entity:int ->

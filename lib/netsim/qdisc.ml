@@ -2,6 +2,9 @@ type t = {
   name : string;
   enqueue : Packet.t -> bool;
   dequeue : unit -> Packet.t option;
+  enqueue_burst : Pktring.t -> rejects:Pktring.t -> int;
+  dequeue_burst : Pktring.t -> max:int -> int;
+  burst_safe : bool;
   byte_length : unit -> int;
   pkt_length : unit -> int;
   drops : unit -> int;
@@ -22,6 +25,10 @@ module F = struct
 
   let create () = { ring = Pktring.create (); bytes = 0; max_bytes = 0 }
 
+  let len f = Pktring.length f.ring
+
+  let bytes f = f.bytes
+
   let push f p =
     Pktring.push f.ring p;
     f.bytes <- f.bytes + p.Packet.size;
@@ -35,8 +42,39 @@ module F = struct
       Some p
     end
 
-  let len f = Pktring.length f.ring
+  (* Drain up to [max] packets into [dst] in one pass: no option
+     boxing, one bookkeeping update per packet. *)
+  let pop_into f dst ~max =
+    let n = min max (Pktring.length f.ring) in
+    for _ = 1 to n do
+      let p = Pktring.pop f.ring in
+      f.bytes <- f.bytes - p.Packet.size;
+      Pktring.push dst p
+    done;
+    n
 end
+
+(* Fallback burst ops, built from the per-packet closures so marking,
+   trimming and refusal decisions stay exactly per-packet. *)
+let burst_of_enqueue enqueue src ~rejects =
+  let accepted = ref 0 in
+  while not (Pktring.is_empty src) do
+    let p = Pktring.pop src in
+    if enqueue p then incr accepted else Pktring.push rejects p
+  done;
+  !accepted
+
+let burst_of_dequeue dequeue dst ~max =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < max do
+    match dequeue () with
+    | Some p ->
+      Pktring.push dst p;
+      incr n
+    | None -> continue := false
+  done;
+  !n
 
 let fifo ?cap_bytes ~cap_pkts () =
   let f = F.create () in
@@ -45,7 +83,7 @@ let fifo ?cap_bytes ~cap_pkts () =
     let over_bytes =
       match cap_bytes with
       | None -> false
-      | Some cap -> f.F.bytes + p.Packet.size > cap
+      | Some cap -> F.bytes f + p.Packet.size > cap
     in
     if F.len f >= cap_pkts || over_bytes then begin
       incr drops;
@@ -59,7 +97,10 @@ let fifo ?cap_bytes ~cap_pkts () =
   { name = "fifo";
     enqueue;
     dequeue = (fun () -> F.pop f);
-    byte_length = (fun () -> f.F.bytes);
+    enqueue_burst = burst_of_enqueue enqueue;
+    dequeue_burst = (fun dst ~max -> F.pop_into f dst ~max);
+    burst_safe = true;
+    byte_length = (fun () -> F.bytes f);
     pkt_length = (fun () -> F.len f);
     drops = (fun () -> !drops);
     marks = (fun () -> 0);
@@ -70,13 +111,14 @@ let ecn ?cap_bytes ~cap_pkts ~mark_threshold () =
   let inner = fifo ?cap_bytes ~cap_pkts () in
   let marks = ref 0 in
   let enqueue p =
-    if inner.pkt_length () >= mark_threshold && not p.Packet.ecn_ce then begin
-      p.Packet.ecn_ce <- true;
+    if inner.pkt_length () >= mark_threshold && not (Packet.ecn_ce p) then begin
+      Packet.set_ecn_ce p;
       incr marks
     end;
     inner.enqueue p
   in
-  { inner with name = "ecn"; enqueue; marks = (fun () -> !marks) }
+  { inner with name = "ecn"; enqueue;
+    enqueue_burst = burst_of_enqueue enqueue; marks = (fun () -> !marks) }
 
 let red ~rng ?(weight = 0.002) ?(max_p = 0.1) ~cap_pkts ~min_th ~max_th () =
   if not (0 <= min_th && min_th < max_th && max_th <= cap_pkts) then
@@ -97,15 +139,16 @@ let red ~rng ?(weight = 0.002) ?(max_p = 0.1) ~cap_pkts ~min_th ~max_th () =
     in
     if
       mark_probability > 0.0
-      && (not p.Packet.ecn_ce)
+      && (not (Packet.ecn_ce p))
       && Engine.Rng.float rng < mark_probability
     then begin
-      p.Packet.ecn_ce <- true;
+      Packet.set_ecn_ce p;
       incr marks
     end;
     inner.enqueue p
   in
-  { inner with name = "red"; enqueue; marks = (fun () -> !marks) }
+  { inner with name = "red"; enqueue;
+    enqueue_burst = burst_of_enqueue enqueue; marks = (fun () -> !marks) }
 
 let trimming ~cap_pkts ~header_size () =
   let data = F.create () in
@@ -119,7 +162,7 @@ let trimming ~cap_pkts ~header_size () =
       true
     end
     else if F.len headers < header_cap then begin
-      p.Packet.trimmed <- true;
+      Packet.set_trimmed p;
       p.Packet.size <- min p.Packet.size header_size;
       incr trims;
       F.push headers p;
@@ -136,7 +179,10 @@ let trimming ~cap_pkts ~header_size () =
   { name = "trimming";
     enqueue;
     dequeue;
-    byte_length = (fun () -> data.F.bytes + headers.F.bytes);
+    enqueue_burst = burst_of_enqueue enqueue;
+    dequeue_burst = burst_of_dequeue dequeue;
+    burst_safe = false;
+    byte_length = (fun () -> F.bytes data + F.bytes headers);
     pkt_length = (fun () -> F.len data + F.len headers);
     drops = (fun () -> !drops);
     marks = (fun () -> 0);
@@ -164,10 +210,14 @@ let priority ~levels ~cap_pkts () =
     else match F.pop queues.(i) with Some p -> Some p | None -> dequeue_from (i + 1)
   in
   let sum get = Array.fold_left (fun acc f -> acc + get f) 0 queues in
+  let dequeue () = dequeue_from 0 in
   { name = "priority";
     enqueue;
-    dequeue = (fun () -> dequeue_from 0);
-    byte_length = (fun () -> sum (fun f -> f.F.bytes));
+    dequeue;
+    enqueue_burst = burst_of_enqueue enqueue;
+    dequeue_burst = burst_of_dequeue dequeue;
+    burst_safe = false;
+    byte_length = (fun () -> sum F.bytes);
     pkt_length = (fun () -> sum F.len);
     drops = (fun () -> !drops);
     marks = (fun () -> 0);
@@ -187,8 +237,8 @@ let wrr ?mark_threshold ~classify ~weights ~cap_pkts () =
     let c = max 0 (min (n - 1) (classify p)) in
     let f = queues.(c) in
     (match mark_threshold with
-    | Some k when F.len f >= k && not p.Packet.ecn_ce ->
-      p.Packet.ecn_ce <- true;
+    | Some k when F.len f >= k && not (Packet.ecn_ce p) ->
+      Packet.set_ecn_ce p;
       incr marks
     | Some _ | None -> ());
     if F.len f >= cap_pkts then begin
@@ -234,7 +284,10 @@ let wrr ?mark_threshold ~classify ~weights ~cap_pkts () =
   { name = "wrr";
     enqueue;
     dequeue;
-    byte_length = (fun () -> sum (fun f -> f.F.bytes));
+    enqueue_burst = burst_of_enqueue enqueue;
+    dequeue_burst = burst_of_dequeue dequeue;
+    burst_safe = false;
+    byte_length = (fun () -> sum F.bytes);
     pkt_length = (fun () -> sum F.len);
     drops = (fun () -> !drops);
     marks = (fun () -> !marks);
@@ -277,19 +330,20 @@ let fair_mark ~classify ?shares ~cap_pkts ~mark_threshold () =
     let c = classify p in
     note_arrival c;
     let depth = inner.pkt_length () in
-    if depth >= mark_threshold && not p.Packet.ecn_ce then begin
+    if depth >= mark_threshold && not (Packet.ecn_ce p) then begin
       let mine = float_of_int (count c) in
       let allowed =
         share_of c *. float_of_int (max 1 !ring_filled) *. 1.1
       in
       if mine > allowed then begin
-        p.Packet.ecn_ce <- true;
+        Packet.set_ecn_ce p;
         incr marks
       end
     end;
     inner.enqueue p
   in
-  { inner with name = "fair_mark"; enqueue; marks = (fun () -> !marks) }
+  { inner with name = "fair_mark"; enqueue;
+    enqueue_burst = burst_of_enqueue enqueue; marks = (fun () -> !marks) }
 
 let with_hooks ?on_enqueue ?on_drop ?on_dequeue inner =
   let run hook p = match hook with None -> () | Some f -> f p in
@@ -310,4 +364,14 @@ let with_hooks ?on_enqueue ?on_drop ?on_dequeue inner =
       run on_dequeue p;
       Some p
   in
-  { inner with enqueue; dequeue }
+  (* A dequeue hook observes per-packet dequeue instants, which burst
+     draining would collapse to the burst-plan time — so its presence
+     forfeits burst safety.  Enqueue/drop hooks fire at enqueue time
+     either way. *)
+  let dequeue_burst, burst_safe =
+    match on_dequeue with
+    | None -> (inner.dequeue_burst, inner.burst_safe)
+    | Some _ -> (burst_of_dequeue dequeue, false)
+  in
+  { inner with enqueue; dequeue;
+    enqueue_burst = burst_of_enqueue enqueue; dequeue_burst; burst_safe }

@@ -85,6 +85,20 @@ let receive t p =
         (match t.pool with Some pool -> Packet.release pool p | None -> ())
       | Consume -> t.n_consumed <- t.n_consumed + 1))
 
+(* Batch entry point for the batched link datapath: one call per
+   delivery chain instead of one per packet.  [pull] advances the
+   clock to each packet's own arrival instant, so hooks and forwarding
+   still observe exact per-packet times; hooks/forward are re-read
+   through [t] each iteration so mid-burst reconfiguration (reroute,
+   blackhole) behaves as it would packet-by-packet. *)
+let receive_burst t ~pull =
+  let continue = ref true in
+  while !continue do
+    match pull () with
+    | Some p -> receive t p
+    | None -> continue := false
+  done
+
 let forwarded t = t.n_forwarded
 let dropped t = t.n_dropped
 let consumed t = t.n_consumed

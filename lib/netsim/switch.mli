@@ -46,6 +46,13 @@ val add_tap : t -> (Engine.Time.t -> Packet.t -> unit) -> unit
 val receive : t -> Packet.t -> unit
 (** Entry point wired as the destination of incoming links. *)
 
+val receive_burst : t -> pull:(unit -> Packet.t option) -> unit
+(** Batch entry point, wired with {!Link.set_dst_burst}: accepts a
+    whole ring of arrivals in one call, pulling packets until [pull]
+    returns [None].  Each packet is processed at its own arrival time
+    (the pull advances the clock), with hooks and forwarding applied
+    per packet exactly as {!receive} would. *)
+
 val inject : t -> port:int -> Packet.t -> unit
 (** Emit a device-generated packet (offload responses, NACKs). *)
 

@@ -16,6 +16,18 @@ let host t name =
 
 let switch t name = Switch.create t.sim ~name ()
 
+(* Wire a link into a device through both delivery interfaces: the
+   per-packet destination (used by classic links, and as the fallback)
+   and the burst destination (used by batched links to take a whole
+   delivery chain in one call). *)
+let to_switch link sw =
+  Link.set_dst link (Switch.receive sw);
+  Link.set_dst_burst link (Switch.receive_burst sw)
+
+let to_node link node =
+  Link.set_dst link (Node.receive node);
+  Link.set_dst_burst link (Node.receive_burst node)
+
 let hosts t = List.rev t.all_hosts
 
 let host_by_addr t addr =
@@ -27,14 +39,14 @@ let wire_host_to_switch t node sw ~rate ~delay ?up_qdisc ?down_qdisc () =
       ~name:(Node.name node ^ "->" ^ Switch.name sw)
       ~rate ~delay ?qdisc:up_qdisc ()
   in
-  Link.set_dst up (Switch.receive sw);
+  to_switch up sw;
   Node.attach node up;
   let down =
     Link.create t.sim
       ~name:(Switch.name sw ^ "->" ^ Node.name node)
       ~rate ~delay ?qdisc:down_qdisc ()
   in
-  Link.set_dst down (Node.receive node);
+  to_node down node;
   Switch.add_port sw down
 
 let wire_switch_pair t a b ~rate ~delay ?ab_qdisc ?ba_qdisc () =
@@ -43,13 +55,13 @@ let wire_switch_pair t a b ~rate ~delay ?ab_qdisc ?ba_qdisc () =
       ~name:(Switch.name a ^ "->" ^ Switch.name b)
       ~rate ~delay ?qdisc:ab_qdisc ()
   in
-  Link.set_dst ab (Switch.receive b);
+  to_switch ab b;
   let ba =
     Link.create t.sim
       ~name:(Switch.name b ^ "->" ^ Switch.name a)
       ~rate ~delay ?qdisc:ba_qdisc ()
   in
-  Link.set_dst ba (Switch.receive a);
+  to_switch ba a;
   let port_a = Switch.add_port a ab in
   let port_b = Switch.add_port b ba in
   (port_a, port_b, ab, ba)
@@ -60,13 +72,13 @@ let wire_host_pair t a b ~rate ~delay ?ab_qdisc ?ba_qdisc () =
       ~name:(Node.name a ^ "->" ^ Node.name b)
       ~rate ~delay ?qdisc:ab_qdisc ()
   in
-  Link.set_dst ab (Node.receive b);
+  to_node ab b;
   let ba =
     Link.create t.sim
       ~name:(Node.name b ^ "->" ^ Node.name a)
       ~rate ~delay ?qdisc:ba_qdisc ()
   in
-  Link.set_dst ba (Node.receive a);
+  to_node ba a;
   Node.add_route a (Node.addr b) ab;
   Node.add_route b (Node.addr a) ba;
   (* Also make them each other's default uplink when unattached, so
@@ -141,12 +153,12 @@ let two_path t ~rate_a ~rate_b ~delay_a ~delay_b ~edge_rate ?qdisc_a ?qdisc_b
     Link.create t.sim ~name:"pathA" ~rate:rate_a ~delay:delay_a
       ?qdisc:qdisc_a ()
   in
-  Link.set_dst link_a (Switch.receive egress);
+  to_switch link_a egress;
   let link_b =
     Link.create t.sim ~name:"pathB" ~rate:rate_b ~delay:delay_b
       ?qdisc:qdisc_b ()
   in
-  Link.set_dst link_b (Switch.receive egress);
+  to_switch link_b egress;
   let port_a = Switch.add_port ingress link_a in
   let port_b = Switch.add_port ingress link_b in
   (* Dedicated reverse link so ACKs never queue behind data. *)
@@ -154,7 +166,7 @@ let two_path t ~rate_a ~rate_b ~delay_a ~delay_b ~edge_rate ?qdisc_a ?qdisc_b
     Link.create t.sim ~name:"reverse" ~rate:(Engine.Time.gbps 400)
       ~delay:delay_a ()
   in
-  Link.set_dst reverse (Switch.receive ingress);
+  to_switch reverse ingress;
   let reverse_port = Switch.add_port egress reverse in
   let routes = Routing.create () in
   Routing.add routes (Node.addr dst) port_a;
@@ -245,14 +257,14 @@ let leaf_spine t ~leaves ~spines ~hosts_per_leaf ~host_rate ~fabric_rate
                 ~name:(Printf.sprintf "leaf%d->spine%d" l s)
                 ~rate:fabric_rate ~delay ?qdisc ()
             in
-            Link.set_dst up (Switch.receive spine_sw.(s));
+            to_switch up spine_sw.(s);
             let up_port = Switch.add_port leaf_sw.(l) up in
             let down =
               Link.create t.sim
                 ~name:(Printf.sprintf "spine%d->leaf%d" s l)
                 ~rate:fabric_rate ~delay ()
             in
-            Link.set_dst down (Switch.receive leaf_sw.(l));
+            to_switch down leaf_sw.(l);
             let down_port = Switch.add_port spine_sw.(s) down in
             (* Remote hosts: one route entry per spine so ECMP spreads;
                spines route statically to the owning leaf. *)

@@ -37,7 +37,7 @@ let record t ~point (pkt : Packet.t) ~at =
   let entry =
     { at; point; uid = pkt.Packet.uid; src = pkt.Packet.src;
       dst = pkt.Packet.dst; size = pkt.Packet.size;
-      ecn_ce = pkt.Packet.ecn_ce; trimmed = pkt.Packet.trimmed;
+      ecn_ce = Packet.ecn_ce pkt; trimmed = Packet.trimmed pkt;
       entity = pkt.Packet.entity; info = describe pkt.Packet.payload }
   in
   t.ring <- entry :: t.ring;

@@ -502,7 +502,7 @@ let process_data conn (seg : Tcp_wire.t) (pkt : Netsim.Packet.t) =
        tells the sender where we stand. *)
   end;
   check_peer_fin conn;
-  send_pure_ack conn ~ece:pkt.Netsim.Packet.ecn_ce
+  send_pure_ack conn ~ece:(Netsim.Packet.ecn_ce pkt)
 
 (* ------------------------------------------------------------------ *)
 (* Connection setup and dispatch                                        *)

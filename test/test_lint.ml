@@ -6,6 +6,7 @@
 
 let fixture_config =
   { Lint.Config.hot_modules = [ "fixture_h101" ];
+    hot_exempt_dirs = [];
     d001_dirs = [ "lint_fixtures" ];
     t201_dirs = [ "lint_fixtures" ];
     t201_exempt_dirs = [];

@@ -12,4 +12,5 @@ let () =
       ("runner", Test_runner.suite);
       ("innetwork", Test_innetwork.suite);
       ("experiments", Test_experiments.suite);
+      ("oracle", Test_oracle.suite);
       ("lint", Test_lint.suite) ]

@@ -53,7 +53,7 @@ let test_ecn_marks_above_threshold () =
   let q = Qdisc.ecn ~cap_pkts:100 ~mark_threshold:2 () in
   let pkts = List.init 4 (fun _ -> pkt ()) in
   List.iter (fun p -> ignore (q.Qdisc.enqueue p)) pkts;
-  let marked = List.filter (fun p -> p.Packet.ecn_ce) pkts in
+  let marked = List.filter Packet.ecn_ce pkts in
   (* Packets 3 and 4 arrive when depth >= 2. *)
   checki "two marked" 2 (List.length marked);
   checki "marks counter" 2 (q.Qdisc.marks ())
@@ -64,7 +64,7 @@ let test_trimming_trims_not_drops () =
   ignore (q.Qdisc.enqueue (pkt ()));
   let extra = pkt () in
   checkb "accepted as header" true (q.Qdisc.enqueue extra);
-  checkb "trimmed" true extra.Packet.trimmed;
+  checkb "trimmed" true (Packet.trimmed extra);
   checki "shrunk" 64 extra.Packet.size;
   (* Trimmed headers are served first. *)
   match q.Qdisc.dequeue () with
@@ -128,8 +128,8 @@ let test_fair_mark_targets_heavy_class () =
   let heavy = List.init 30 (fun _ -> pkt ~entity:1 ()) in
   List.iter (fun p -> ignore (q.Qdisc.enqueue p)) light;
   List.iter (fun p -> ignore (q.Qdisc.enqueue p)) heavy;
-  let heavy_marked = List.length (List.filter (fun p -> p.Packet.ecn_ce) heavy) in
-  let light_marked = List.length (List.filter (fun p -> p.Packet.ecn_ce) light) in
+  let heavy_marked = List.length (List.filter Packet.ecn_ce heavy) in
+  let light_marked = List.length (List.filter Packet.ecn_ce light) in
   checkb "heavy class marked" true (heavy_marked > 5);
   checki "light class unmarked" 0 light_marked
 
@@ -142,7 +142,7 @@ let test_red_marks_probabilistically () =
     let p = pkt () in
     ignore (q.Qdisc.enqueue p);
     incr total;
-    if p.Packet.ecn_ce then incr marked;
+    if Packet.ecn_ce p then incr marked;
     (* Drain one of every two packets to keep depth ~high. *)
     if !total mod 2 = 0 then ignore (q.Qdisc.dequeue ())
   done;
@@ -707,6 +707,146 @@ let test_monitor_link_throughput () =
   let mean = Stats.Timeseries.mean series in
   checkb "near line rate" true (mean > 8.0 && mean < 10.5)
 
+(* ----------------------------- Pktring ----------------------------- *)
+
+let uids_of r =
+  List.init (Pktring.length r) (fun i -> (Pktring.get r i).Packet.uid)
+
+(* Interleaved push/pop drives head past the physical end of the
+   backing array; order and contents must survive the wrap. *)
+let test_pktring_wraparound () =
+  let r = Pktring.create ~capacity:4 () in
+  let sent = ref [] in
+  let popped = ref [] in
+  for round = 1 to 5 do
+    for _ = 1 to 3 do
+      let p = pkt () in
+      sent := p.Packet.uid :: !sent;
+      Pktring.push r p
+    done;
+    for _ = 1 to if round < 5 then 3 else 0 do
+      popped := (Pktring.pop r).Packet.uid :: !popped
+    done
+  done;
+  checki "three left after interleaving" 3 (Pktring.length r);
+  popped := List.rev_append (uids_of r) !popped;
+  Pktring.clear r;
+  Alcotest.(check (list int))
+    "FIFO order preserved across wraps" (List.rev !sent) (List.rev !popped)
+
+(* Batch transfer into an empty destination, across the source's wrap
+   point, with [max] clamping. *)
+let test_pktring_transfer_into_empty () =
+  let src = Pktring.create ~capacity:4 () in
+  (* Force the source's head off zero first. *)
+  Pktring.push src (pkt ());
+  ignore (Pktring.pop src);
+  let pushed = ref [] in
+  for _ = 1 to 4 do
+    let p = pkt () in
+    pushed := p.Packet.uid :: !pushed;
+    Pktring.push src p
+  done;
+  let dst = Pktring.create ~capacity:1 () in
+  checki "max clamps the move" 3 (Pktring.transfer ~src ~dst ~max:3);
+  checki "source keeps the rest" 1 (Pktring.length src);
+  checki "moved count" 3 (Pktring.length dst);
+  checki "drain-the-rest moves what is left" 1
+    (Pktring.transfer ~src ~dst ~max:10);
+  checkb "source empty" true (Pktring.is_empty src);
+  Alcotest.(check (list int))
+    "arrival order preserved through transfer" (List.rev !pushed) (uids_of dst);
+  checki "transfer from empty source is zero" 0
+    (Pktring.transfer ~src ~dst ~max:5)
+
+(* Filling exactly to capacity then one past it: growth must keep the
+   logical order even when head > 0 (the copy re-linearizes). *)
+let test_pktring_capacity_boundary () =
+  let r = Pktring.create ~capacity:4 () in
+  Pktring.push r (pkt ());
+  Pktring.push r (pkt ());
+  ignore (Pktring.pop r);
+  ignore (Pktring.pop r);
+  let sent = ref [] in
+  for _ = 1 to 4 do
+    let p = pkt () in
+    sent := p.Packet.uid :: !sent;
+    Pktring.push r p
+  done;
+  checki "at capacity" 4 (Pktring.length r);
+  let p = pkt () in
+  sent := p.Packet.uid :: !sent;
+  Pktring.push r p;
+  checki "grown past capacity" 5 (Pktring.length r);
+  Alcotest.(check (list int))
+    "order preserved across growth" (List.rev !sent) (uids_of r);
+  checki "pop_back returns newest" p.Packet.uid (Pktring.pop_back r).Packet.uid
+
+(* ----------------- link occupancy, batched vs classic -------------- *)
+
+(* Eight packets sent back to back at t=0 over a 10 G / 5 us link:
+   serialization 1.2 us per packet, completions at 1.2k us, deliveries
+   5 us later.  Sampled at off-completion instants, queue depth,
+   in-flight population (propagating packets PLUS the one being
+   serialized) and bytes-on-the-wire must be identical in both
+   datapaths and conserve the checked-out population. *)
+let occupancy_samples batched =
+  Datapath.with_batching batched (fun () ->
+      let sim = Engine.Sim.create () in
+      let pool = Packet.pool sim in
+      let link =
+        Link.create sim ~name:"l" ~rate:(Engine.Time.gbps 10)
+          ~delay:(Engine.Time.us 5) ~pool ()
+      in
+      let delivered = ref 0 in
+      Link.set_dst link (fun p ->
+          incr delivered;
+          Packet.release pool p);
+      ignore
+      @@ Engine.Sim.schedule sim ~at:0 (fun () ->
+             for _ = 1 to 8 do
+               Link.send link (Packet.recycle pool ~src:1 ~dst:2 ~size:1500 ())
+             done);
+      let samples = ref [] in
+      List.iter
+        (fun t ->
+          ignore
+          @@ Engine.Sim.schedule sim ~at:t (fun () ->
+                 let q = Link.queued_pkts link in
+                 let fl = Link.in_flight_pkts link in
+                 checki "population conserved at sample" 8
+                   (q + fl + !delivered);
+                 samples :=
+                   (t, q, fl, Link.bytes_sent link, !delivered) :: !samples))
+        [ 600; 1_800; 3_000; 6_100; 9_700; 12_000; 14_500; 20_000 ];
+      Engine.Sim.run sim;
+      checki "all delivered" 8 !delivered;
+      List.rev !samples)
+
+let test_link_occupancy_batched_eq_classic () =
+  let classic = occupancy_samples false in
+  let batched = occupancy_samples true in
+  let sample = Alcotest.(list (pair int (pair int (pair int (pair int int))))) in
+  let pack = List.map (fun (t, q, fl, b, d) -> (t, (q, (fl, (b, d))))) in
+  (* Pinned mid-serialization rows: the in-service packet counts as in
+     flight and its bytes are not yet on the wire. *)
+  (match classic with
+  | (600, q, fl, b, d) :: _ ->
+    checki "t=600ns queued" 7 q;
+    checki "t=600ns in-flight includes in-service" 1 fl;
+    checki "t=600ns bytes not yet serialized" 0 b;
+    checki "t=600ns delivered" 0 d
+  | _ -> Alcotest.fail "missing t=600 sample");
+  (match List.nth_opt classic 4 with
+  | Some (9_700, q, fl, b, d) ->
+    checki "t=9.7us queue drained" 0 q;
+    checki "t=9.7us propagating" 5 fl;
+    checki "t=9.7us all bytes on wire" 12_000 b;
+    checki "t=9.7us delivered" 3 d
+  | _ -> Alcotest.fail "missing t=9700 sample");
+  Alcotest.check sample "occupancy identical across datapaths"
+    (pack classic) (pack batched)
+
 let suite =
   [ Alcotest.test_case "packet uids" `Quick test_packet_uids_unique;
     Alcotest.test_case "packet size check" `Quick test_packet_rejects_empty;
@@ -724,7 +864,14 @@ let suite =
     Alcotest.test_case "red validation" `Quick test_red_validates_thresholds;
     Alcotest.test_case "qdisc hooks" `Quick test_hooks_fire;
     QCheck_alcotest.to_alcotest prop_qdisc_conservation;
+    Alcotest.test_case "pktring wraparound" `Quick test_pktring_wraparound;
+    Alcotest.test_case "pktring transfer into empty" `Quick
+      test_pktring_transfer_into_empty;
+    Alcotest.test_case "pktring capacity boundary" `Quick
+      test_pktring_capacity_boundary;
     Alcotest.test_case "link timing" `Quick test_link_serialization_and_delay;
+    Alcotest.test_case "link occupancy batched==classic" `Quick
+      test_link_occupancy_batched_eq_classic;
     Alcotest.test_case "link drops" `Quick test_link_drops_when_queue_full;
     Alcotest.test_case "link accounting" `Quick test_link_utilization_accounting;
     Alcotest.test_case "link utilization zero window" `Quick
