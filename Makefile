@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-datapath bench-parallel lint check telemetry-check exhibits extensions sweeps examples clean
+.PHONY: all build test bench bench-datapath bench-parallel lint check telemetry-check fuzz-smoke exhibits extensions sweeps examples clean
 
 all: build
 
@@ -36,17 +36,26 @@ bench-parallel:
 lint:
 	dune exec bin/simlint.exe -- --root . lib bin bench
 
+# Verification harness smoke: replay the checked-in crash corpus, then
+# run a seeded fuzz campaign (oracles + differential pairings on every
+# case) under a wall-clock cap.  Any oracle violation or digest
+# divergence exits non-zero and leaves a shrunk repro in test/corpus/.
+fuzz-smoke:
+	dune exec bin/mtp_sim.exe -- fuzz --replay test/corpus
+	dune exec bin/mtp_sim.exe -- fuzz --cases 200 --seed 1 --budget-s 120
+
 # CI gate: full build, the test suite, a quick datapath bench that
 # must produce the allocation/throughput guardrail report, the
 # parallel-runner scaling bench with its not-slower guardrail, a
 # shortened failover run exercising fault injection end to end, a
 # parallel `all --smoke` pass regenerating every exhibit on two
-# domains, and a telemetry export check (JSONL parses, same-seed runs
-# byte-identical).
+# domains, a telemetry export check (JSONL parses, same-seed runs
+# byte-identical), and the corpus-replay + seeded-fuzz smoke.
 check:
 	dune build @all
 	$(MAKE) lint
 	dune runtest --force
+	$(MAKE) fuzz-smoke
 	rm -f BENCH_engine.json
 	$(MAKE) bench-datapath
 	test -f BENCH_engine.json

@@ -88,6 +88,20 @@ let output_opts =
           Stdlib.exit 2
         end;
         csv_target := csv;
+        (* Validate export paths up front: a typo'd directory should
+           be a usage error now, not an uncaught Sys_error from the
+           at_exit writer after minutes of simulation. *)
+        let check_writable = function
+          | None -> ()
+          | Some path -> (
+            match open_out path with
+            | oc -> close_out oc
+            | exception Sys_error msg ->
+              Format.eprintf "mtp_sim: cannot write %s: %s@." path msg;
+              Stdlib.exit 2)
+        in
+        check_writable trace;
+        check_writable metrics;
         if trace <> None || metrics <> None then begin
           Telemetry.Ctx.enable ();
           at_exit (fun () ->
@@ -454,6 +468,106 @@ let all_cmd =
           for a parallel run with byte-identical output")
     Term.(const run $ output_opts $ smoke_arg)
 
+(* ------------------------------- fuzz ------------------------------ *)
+
+let fuzz_cmd =
+  let run cases fseed corpus budget_s replay_path =
+    match replay_path with
+    | Some path ->
+      (* Replay a corpus case (or every case in a directory). *)
+      let files =
+        match Sys.is_directory path with
+        | true -> Check.Fuzz.corpus_files path
+        | false -> [ path ]
+        | exception Sys_error _ ->
+          Format.eprintf "mtp_sim fuzz: no such file or directory: %s@." path;
+          Stdlib.exit 2
+      in
+      if files = [] then begin
+        Format.eprintf "mtp_sim fuzz: no .case files under %s@." path;
+        Stdlib.exit 2
+      end;
+      let failed = ref 0 in
+      List.iter
+        (fun f ->
+          match Check.Fuzz.replay f with
+          | Check.Fuzz.Pass -> Format.printf "replay %s: PASS@." f
+          | Check.Fuzz.Fail msg ->
+            incr failed;
+            Format.printf "replay %s: FAIL@.%s@." f msg)
+        files;
+      Format.printf "replayed %d case(s), %d failure(s)@." (List.length files)
+        !failed;
+      if !failed > 0 then Stdlib.exit 1
+    | None ->
+      (* simlint: allow D002 — wall-clock budget cap, never read in-sim *)
+      let t0 = Unix.gettimeofday () in
+      let should_stop () =
+        (* simlint: allow D002 — wall-clock budget cap, never read in-sim *)
+        Unix.gettimeofday () -. t0 > float_of_int budget_s
+      in
+      let log msg = Format.printf "%s@." msg in
+      let { Check.Fuzz.cases_run; failures } =
+        Check.Fuzz.campaign ~should_stop ~log ~cases ~seed:fseed ()
+      in
+      if cases_run < cases then
+        Format.printf
+          "fuzz: wall-clock budget (%ds) hit after %d/%d cases@." budget_s
+          cases_run cases;
+      (match failures with
+      | [] ->
+        Format.printf
+          "fuzz: %d case(s), zero oracle/differential violations@." cases_run
+      | fs ->
+        (try Unix.mkdir corpus 0o755
+         with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+        List.iteri
+          (fun i (_orig, small, msg) ->
+            let name = Printf.sprintf "fuzz-seed%d-%d.case" fseed i in
+            let path = Check.Fuzz.save ~dir:corpus ~name small in
+            Format.printf "failure %d: %s@.  shrunk repro written to %s@." i
+              msg path)
+          (List.rev fs);
+        Format.printf "fuzz: %d case(s), %d failure(s)@." cases_run
+          (List.length fs);
+        Stdlib.exit 1)
+  in
+  let cases =
+    Arg.(value & opt int 200
+         & info [ "cases" ] ~docv:"N" ~doc:"Number of random cases to run.")
+  in
+  let fseed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Campaign seed; case $(i,i) derives stream $(i,i).")
+  in
+  let corpus =
+    Arg.(value & opt string "test/corpus"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Directory shrunk failing cases are written to.")
+  in
+  let budget =
+    Arg.(value & opt int 300
+         & info [ "budget-s" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock cap; the campaign stops between cases once \
+                   exceeded.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"PATH"
+             ~doc:"Replay one .case file (or every .case in a directory) \
+                   instead of generating new cases.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Seeded fuzzing: random bounded scenarios under invariant oracles \
+          (packet conservation, event order, transport state) and \
+          differential pairings (batched vs classic datapath, burst limit \
+          1, inert fault plans, worker-domain runs); failures shrink to \
+          replayable corpus files")
+    Term.(const run $ cases $ fseed $ corpus $ budget $ replay)
+
 let () =
   let info =
     Cmd.info "mtp_sim" ~version:"1.0"
@@ -461,10 +575,18 @@ let () =
         "Reproduce the evaluation of 'TCP is Harmful to In-Network \
          Computing: Designing a Message Transport Protocol' (HotNets'21)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd;
-            features_cmd; extensions_cmd; messaging_cmd; failover_cmd;
-            sweeps_cmd;
-            all_cmd ]))
+  let group =
+    Cmd.group info
+      [ fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd;
+        features_cmd; extensions_cmd; messaging_cmd; failover_cmd;
+        sweeps_cmd; all_cmd; fuzz_cmd ]
+  in
+  (* Graceful degradation: unknown subcommands/flags and malformed
+     option values print cmdliner's usage/error text and exit 2 (the
+     conventional usage-error code) instead of 124, and internal
+     errors stay distinguishable (125). *)
+  match Cmd.eval_value group with
+  | Ok (`Ok ()) -> ()
+  | Ok (`Version | `Help) -> ()
+  | Error (`Parse | `Term) -> Stdlib.exit 2
+  | Error `Exn -> Stdlib.exit 125

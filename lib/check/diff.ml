@@ -1,0 +1,45 @@
+(* First-divergence reporting for differential runs.
+
+   The differential runner compares whole rendered outputs; when they
+   differ, a bare "not equal" on two multi-kilobyte strings is
+   useless.  This module finds the first diverging line and formats a
+   small unified excerpt around it (the Snabb Match-app pattern:
+   compare against the reference stream, report where they part). *)
+
+let lines s = String.split_on_char '\n' s
+
+let first_divergence a b =
+  let la = Array.of_list (lines a) and lb = Array.of_list (lines b) in
+  let n = min (Array.length la) (Array.length lb) in
+  let rec scan i =
+    if i < n then if la.(i) <> lb.(i) then Some i else scan (i + 1)
+    else if Array.length la <> Array.length lb then Some n
+    else None
+  in
+  scan 0
+
+let excerpt ~label arr i =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("  --- " ^ label ^ " ---\n");
+  let lo = max 0 (i - 2) and hi = min (Array.length arr - 1) (i + 2) in
+  for j = lo to hi do
+    Buffer.add_string buf
+      (Printf.sprintf "  %c%4d| %s\n"
+         (if j = i then '>' else ' ')
+         (j + 1) arr.(j))
+  done;
+  if i >= Array.length arr then
+    Buffer.add_string buf (Printf.sprintf "  >%4d| <missing line>\n" (i + 1));
+  Buffer.contents buf
+
+let compare_outputs ~expect_label ~got_label a b =
+  if String.equal a b then Ok ()
+  else
+    match first_divergence a b with
+    | None -> Ok ()
+    | Some i ->
+      let la = Array.of_list (lines a) and lb = Array.of_list (lines b) in
+      Error
+        (Printf.sprintf "outputs diverge at line %d:\n%s%s" (i + 1)
+           (excerpt ~label:expect_label la i)
+           (excerpt ~label:got_label lb i))

@@ -1,0 +1,14 @@
+(** Byte-identity comparison with first-divergence reporting, for the
+    differential runner: when two runs of one scenario differ, show
+    the first diverging line with two lines of context from each
+    side. *)
+
+val first_divergence : string -> string -> int option
+(** 0-based index of the first line where the two strings differ
+    (including one ending early); [None] when byte-identical. *)
+
+val compare_outputs :
+  expect_label:string -> got_label:string -> string -> string ->
+  (unit, string) result
+(** [Ok ()] when equal; otherwise an [Error] report naming the line
+    number and excerpting both sides around it. *)

@@ -1,0 +1,37 @@
+(** Packet-conservation ledger: every packet offered to the network is
+    delivered, dropped (counted), or still queued/in flight — per
+    link, per switch, and optionally per packet pool.
+
+    Generalizes [Netsim.Fault.audit] (pool-based, so blind to
+    transports, which allocate with [Packet.make]) by working from the
+    per-device counters instead:
+    - link: [sends = delivered + qdisc drops + fault_drops + queued +
+      in-flight];
+    - switch: [received + injected = forwarded + dropped + consumed].
+
+    Baselines snapshot at watch time, so the ledger checks deltas and
+    can attach to a warm topology.  Watch after all qdisc wrapping
+    (e.g. [Fault.gilbert_elliott]) is installed. *)
+
+type t
+
+val create : unit -> t
+
+val watch_link : t -> Netsim.Link.t -> unit
+(** Snapshot the link's counters; {!check} verifies the delta. *)
+
+val watch_switch : t -> Netsim.Switch.t -> unit
+
+val watch_pool : t -> Netsim.Packet.pool -> unit
+(** Also assert the pool invariant ([pool_live] = queued + in-flight
+    across the watched links + [held]) — only meaningful when the
+    watched links are exactly the pool's users. *)
+
+val failures : ?held:int -> t -> string list
+(** All violated invariants, one message each (empty = conserved).
+    [held] is the number of pooled packets the caller intentionally
+    retains (as in [Fault.audit]). *)
+
+val check : ?held:int -> t -> (unit, string) result
+(** [Ok ()] when every watched device conserves packets, [Error msg]
+    joining all violations otherwise. *)

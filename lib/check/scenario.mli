@@ -1,0 +1,43 @@
+(** Build and drive one fuzz scenario from a {!Spec}.
+
+    A built scenario carries the full oracle set pre-attached: a
+    conservation {!Ledger} over every link and switch, a monotone-time
+    watcher tapped on every device, per-message completion counters,
+    and (for MTP) the endpoints for transport-state checks.
+
+    [digest] renders everything observable — an event trace of
+    deliveries, completions and periodic queue samples, plus final
+    per-device/per-stack counters — as one deterministic string; the
+    differential runner compares digests across paired configurations
+    byte-for-byte. *)
+
+type fault_mode =
+  | As_spec  (** Apply the spec's fault list. *)
+  | Noop
+      (** Install a fault plan that provably never fires inside the
+          run (a down-event past the horizon, a zero-loss
+          Gilbert-Elliott wrapper) — output must equal a faultless
+          run. *)
+
+type t
+
+val build : ?fault:fault_mode -> Spec.t -> t
+(** Construct the topology, stacks, workload, faults and oracles.
+    Defaults to [As_spec]. *)
+
+val run : t -> unit
+(** Drive the simulation to the spec's horizon. *)
+
+val digest : t -> string
+(** The rendered observable output (call after {!run}). *)
+
+val oracle_failures : t -> string list
+(** All oracle violations: conservation, event order, completion
+    uniqueness, MTP pathlet/window consistency.  Empty = clean. *)
+
+(**/**)
+
+val links : t -> Netsim.Link.t array
+val sim : t -> Engine.Sim.t
+val duration : t -> Engine.Time.t
+(** Internal surface for the mutation test's bug injector. *)

@@ -10,6 +10,24 @@
 
 let noop = Sys.opaque_identity (fun () -> ())
 
+exception
+  Dispatch_error of {
+    time : Time.t;
+    seq : int;
+    uid : int;
+    inner : exn;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Dispatch_error { time; seq; uid; inner } ->
+      Some
+        (* simlint: allow H101 — exception printer, cold error path *)
+        (Printf.sprintf
+           "Sim.Dispatch_error: event #%d (time=%d, seq=%d) raised %s" uid
+           time seq (Printexc.to_string inner))
+    | _ -> None)
+
 type handle = int
 
 type t = {
@@ -98,6 +116,7 @@ let step t =
   if Eventqueue.is_empty t.heap then false
   else begin
     let time = Eventqueue.min_time t.heap in
+    let seq = Eventqueue.min_seq t.heap in
     let idx = Eventqueue.pop_min t.heap in
     t.clock <- time;
     let action = t.actions.(idx) in
@@ -109,7 +128,19 @@ let step t =
     t.free_len <- t.free_len + 1;
     if action != noop then begin
       t.executed <- t.executed + 1;
-      action ()
+      try action () with
+      | Dispatch_error _ as e ->
+        (* Already annotated by an inner dispatch (nested [run]s);
+           wrapping again would bury the original coordinates. *)
+        Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())
+      | e ->
+        (* Cold path: a crashing callback.  The (time, seq) key plus
+           the dispatch ordinal pin the exact event in a deterministic
+           replay, so any fuzz crash is immediately reproducible. *)
+        let bt = Printexc.get_raw_backtrace () in
+        Printexc.raise_with_backtrace
+          (Dispatch_error { time; seq; uid = t.executed; inner = e })
+          bt
     end;
     true
   end

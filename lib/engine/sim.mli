@@ -138,9 +138,23 @@ val drop_plan : timer -> unit
 
 (** {1 Execution} *)
 
+exception
+  Dispatch_error of {
+    time : Time.t;  (** Sim time of the crashing event. *)
+    seq : int;  (** Its scheduling sequence number ((time, seq) key). *)
+    uid : int;  (** Dispatch ordinal: the n-th event ever executed. *)
+    inner : exn;  (** The original exception. *)
+  }
+(** A callback exception escaping event dispatch is re-raised wrapped
+    in this (original backtrace preserved, printer registered), so a
+    crash carries the exact coordinates of the event that raised it —
+    with a deterministic seed that makes any fuzz crash immediately
+    reproducible.  Nested dispatches never double-wrap. *)
+
 val step : t -> bool
 (** Execute the next pending event.  Returns [false] if the heap was
-    empty. *)
+    empty.
+    @raise Dispatch_error when the event's callback raises. *)
 
 val run : ?until:Time.t -> t -> unit
 (** Drain events in time order.  With [until], stops once the next

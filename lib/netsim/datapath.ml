@@ -33,10 +33,24 @@ let with_batching v f =
    bisecting batching effects. *)
 let max_burst = 64
 
-let burst_limit =
-  match Sys.getenv_opt "MTP_MAX_BURST" with
-  | Some s -> (
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> min n max_burst
-    | Some _ | None -> max_burst)
-  | None -> max_burst
+(* Like [batching], an [Atomic.t] sampled per burst activation, so the
+   differential oracle can pin the walk to one packet per activation
+   ([with_burst_limit 1] degrades batched links to the classic event
+   shape) without an env var and a re-exec. *)
+let burst_limit_v =
+  Atomic.make
+    (match Sys.getenv_opt "MTP_MAX_BURST" with
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> min n max_burst
+      | Some _ | None -> max_burst)
+    | None -> max_burst)
+
+let burst_limit () = Atomic.get burst_limit_v
+
+let with_burst_limit n f =
+  if n < 1 then invalid_arg "Datapath.with_burst_limit: limit must be >= 1";
+  let n = min n max_burst in
+  let prev = Atomic.get burst_limit_v in
+  Atomic.set burst_limit_v n;
+  Fun.protect ~finally:(fun () -> Atomic.set burst_limit_v prev) f

@@ -22,7 +22,15 @@ val max_burst : int
 (** Maximum packets one burst plan can ever commit to the wire (the
     size of the per-link completion-time arrays). *)
 
-val burst_limit : int
+val burst_limit : unit -> int
 (** The operative per-burst limit: {!max_burst}, optionally clamped
     down by [MTP_MAX_BURST] in the environment (read once at startup)
-    for debugging and bisection. *)
+    for debugging and bisection.  Sampled once per burst activation. *)
+
+val with_burst_limit : int -> (unit -> 'a) -> 'a
+(** [with_burst_limit n f] runs [f] with the per-burst limit clamped
+    to [min n max_burst], restoring the previous value afterwards
+    (exception-safe).  [with_burst_limit 1] makes batched links commit
+    one packet per activation — the classic event shape — which the
+    differential oracle compares against the default walk.
+    @raise Invalid_argument when [n < 1]. *)

@@ -53,6 +53,12 @@ type t = {
   mutable up : bool;
   mutable sent_bytes : int;
   mutable n_fault_drops : int;
+  (* Conservation-ledger counters: every packet offered to [send] and
+     every packet handed to the destination, whichever datapath.  With
+     the qdisc's own drop count these close the per-link invariant
+     sends = delivered + drops + fault_drops + queued + in-flight. *)
+  mutable n_sends : int;
+  mutable n_delivered : int;
   flight : Pktring.t;
   pool : Packet.pool option;
   mutable cur : Packet.t;
@@ -74,6 +80,7 @@ type t = {
    [t] and [p], so building it unconditionally would allocate on every
    delivered packet. *)
 let deliver t p =
+  t.n_delivered <- t.n_delivered + 1;
   if t.taps != [] then List.iter (fun f -> f (Engine.Sim.now t.sim) p) t.taps;
   match t.dst with
   | Some handler -> handler p
@@ -214,6 +221,7 @@ let pull_step t =
   in
   if p == Packet.none then None
   else begin
+    t.n_delivered <- t.n_delivered + 1;
     (* Guarded as in [deliver]: the iteration closure would allocate. *)
     if t.taps != [] then
       List.iter (fun f -> f (Engine.Sim.now t.sim) p) t.taps;
@@ -226,7 +234,7 @@ let pull_step t =
    burst in one pass); otherwise each packet goes through the
    per-packet destination. *)
 let b_activation t =
-  t.b_budget <- Datapath.burst_limit;
+  t.b_budget <- Datapath.burst_limit ();
   let p = b_step t in
   if p != Packet.none then begin
     match t.dst_burst with
@@ -257,7 +265,8 @@ let create sim ~name ~rate ~delay ?qdisc ?pool () =
   let t =
     { sim; link_name = name; link_rate = rate; link_delay = delay; batched; q;
       dst = None; dst_burst = None; taps = []; transmitting = false;
-      up = true; sent_bytes = 0; n_fault_drops = 0; cur = Packet.none;
+      up = true; sent_bytes = 0; n_fault_drops = 0; n_sends = 0;
+      n_delivered = 0; cur = Packet.none;
       tx_ev = None; flight = Pktring.create (); pool;
       on_tx_done = ignore; on_deliver = ignore;
       tx_timer = dummy; b_comp = 0; b_budget = 0;
@@ -305,6 +314,7 @@ let kick t =
     if t.batched then b_start t else transmit_next t
 
 let send t p =
+  t.n_sends <- t.n_sends + 1;
   if not t.up then drop_faulted t p
   else if not (Telemetry.Ctx.on ()) then begin
     (* Uninstrumented fast path: byte-for-byte the pre-telemetry code. *)
@@ -382,6 +392,8 @@ let bytes_sent t = t.sent_bytes
 
 let busy t = t.transmitting
 let fault_drops t = t.n_fault_drops
+let sends t = t.n_sends
+let delivered_pkts t = t.n_delivered
 
 let queued_pkts t = t.q.Qdisc.pkt_length ()
 

@@ -85,6 +85,16 @@ val fault_drops : t -> int
 (** Packets lost to {!set_down} (aborted, flushed, in-flight at
     failure, or sent while down). *)
 
+val sends : t -> int
+(** Packets ever offered to {!send} (accepted or not). *)
+
+val delivered_pkts : t -> int
+(** Packets handed to the destination (either datapath).  Together
+    with the qdisc drop counter these close the per-link conservation
+    invariant the [Check.Ledger] oracle asserts:
+    [sends = delivered_pkts + qdisc drops + fault_drops + queued_pkts
+    + in_flight_pkts]. *)
+
 val queued_pkts : t -> int
 (** Packets currently waiting in the qdisc. *)
 

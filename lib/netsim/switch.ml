@@ -13,12 +13,19 @@ type t = {
   mutable n_forwarded : int;
   mutable n_dropped : int;
   mutable n_consumed : int;
+  (* Conservation-ledger counters: packets entering from links and
+     packets the device itself originated.  Every ingress ends up
+     forwarded, dropped, or consumed, so
+     received + injected = forwarded + dropped + consumed. *)
+  mutable n_received : int;
+  mutable n_injected : int;
 }
 
 let create sim ~name ?pool () =
   let t =
     { sim; switch_name = name; ports = [||]; forward = None; hooks = [];
-      taps = []; pool; n_forwarded = 0; n_dropped = 0; n_consumed = 0 }
+      taps = []; pool; n_forwarded = 0; n_dropped = 0; n_consumed = 0;
+      n_received = 0; n_injected = 0 }
   in
   if Telemetry.Ctx.on () then begin
     let reg = Telemetry.Ctx.metrics () in
@@ -54,10 +61,12 @@ let add_ingress_hook t hook = t.hooks <- t.hooks @ [ hook ]
 let add_tap t f = t.taps <- t.taps @ [ f ]
 
 let inject t ~port p =
+  t.n_injected <- t.n_injected + 1;
   t.n_forwarded <- t.n_forwarded + 1;
   Link.send t.ports.(port) p
 
 let receive t p =
+  t.n_received <- t.n_received + 1;
   List.iter (fun f -> f (Engine.Sim.now t.sim) p) t.taps;
   let rec run_hooks = function
     | [] -> Continue
@@ -102,3 +111,5 @@ let receive_burst t ~pull =
 let forwarded t = t.n_forwarded
 let dropped t = t.n_dropped
 let consumed t = t.n_consumed
+let received t = t.n_received
+let injected t = t.n_injected

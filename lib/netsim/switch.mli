@@ -57,5 +57,16 @@ val inject : t -> port:int -> Packet.t -> unit
 (** Emit a device-generated packet (offload responses, NACKs). *)
 
 val forwarded : t -> int
+(** Packets sent out a port, including device-originated {!inject}s. *)
+
 val dropped : t -> int
 val consumed : t -> int
+
+val received : t -> int
+(** Packets that entered via {!receive}/{!receive_burst}. *)
+
+val injected : t -> int
+(** Device-originated packets emitted via {!inject} (also counted in
+    {!forwarded}).  The conservation invariant the [Check.Ledger]
+    oracle asserts: [received + injected = forwarded + dropped +
+    consumed]. *)

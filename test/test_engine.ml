@@ -222,6 +222,86 @@ let prop_heap_matches_model =
       done;
       !ok && !model = [])
 
+(* qcheck: each pop returns exactly the (time, seq)-minimum of the
+   multiset of pending entries — the dispatch-order contract every
+   determinism claim in the repo rests on.  Unlike the model test
+   above, this tracks the pending set directly and re-derives the
+   expected minimum at every pop, so a heap that merely *sorts* but
+   mis-breaks ties is caught at the first wrong pop, not at drain. *)
+let prop_heap_pop_is_pending_min =
+  QCheck.Test.make ~name:"eventqueue pop is the pending (time,seq) minimum"
+    ~count:300
+    QCheck.(list_of_size Gen.(1 -- 300) (option (int_range 0 20)))
+    (fun program ->
+      let q = Eventqueue.create ~dummy:(-1) () in
+      let pending = ref [] in
+      let seq = ref 0 in
+      let key_min xs =
+        List.fold_left
+          (fun acc k -> match acc with
+            | None -> Some k
+            | Some m -> Some (min m k))
+          None xs
+      in
+      let remove k xs = List.filter (fun k' -> k' <> k) xs in
+      let pop_matches () =
+        match (Eventqueue.pop q, key_min !pending) with
+        | None, None -> true
+        | Some (t, s, _), Some (mt, ms) ->
+          pending := remove (mt, ms) !pending;
+          t = mt && s = ms
+        | Some _, None | None, Some _ -> false
+      in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | Some time ->
+              Eventqueue.add q ~time ~seq:!seq !seq;
+              pending := (time, !seq) :: !pending;
+              incr seq
+            | None -> ok := pop_matches ())
+        program;
+      while !ok && not (Eventqueue.is_empty q) do
+        ok := pop_matches ()
+      done;
+      !ok && !pending = [])
+
+(* qcheck: [Rng.derive] builds independent streams — children at
+   distinct indices produce distinct output prefixes, deriving never
+   perturbs the parent, and a child depends only on (parent seed,
+   index), not on how far the parent stream has been consumed. *)
+let prop_rng_derive_streams_independent =
+  QCheck.Test.make ~name:"rng derive streams are independent" ~count:200
+    QCheck.(
+      triple (int_range 0 10_000)
+        (pair (int_range 0 1000) (int_range 0 1000))
+        (int_range 0 32))
+    (fun (seed, (i, j), consumed) ->
+      let prefix rng = List.init 8 (fun _ -> Rng.bits64 rng) in
+      let base = Rng.create seed in
+      for _ = 1 to consumed do
+        ignore (Rng.bits64 base)
+      done;
+      let child_i = prefix (Rng.derive base i) in
+      let child_j = prefix (Rng.derive base j) in
+      let child_i' = prefix (Rng.derive base i) in
+      let parent_continuation = prefix base in
+      let untouched = Rng.create seed in
+      for _ = 1 to consumed do
+        ignore (Rng.bits64 untouched)
+      done;
+      (* Distinct indices give distinct streams... *)
+      (i = j || child_i <> child_j)
+      (* ...derivation is repeatable (pure in the parent state)... *)
+      && child_i = child_i'
+      (* ...children never collide with the parent's own stream... *)
+      && child_i <> parent_continuation
+      (* ...and deriving leaves the parent stream untouched (the
+         continuation above is what an underived parent produces). *)
+      && parent_continuation = prefix untouched)
+
 (* -------------------------------- Sim ------------------------------ *)
 
 let test_sim_runs_in_order () =
@@ -508,6 +588,8 @@ let suite =
     Alcotest.test_case "sim plan commit tie order" `Quick
       test_plan_commit_keeps_tie_order;
     QCheck_alcotest.to_alcotest prop_heap_matches_model;
+    QCheck_alcotest.to_alcotest prop_heap_pop_is_pending_min;
+    QCheck_alcotest.to_alcotest prop_rng_derive_streams_independent;
     QCheck_alcotest.to_alcotest prop_sim_deterministic;
     QCheck_alcotest.to_alcotest prop_sim_until_boundary;
     Alcotest.test_case "trace off" `Quick test_trace_disabled_by_default;

@@ -16,6 +16,20 @@ let audit_ok ?links ?held ~pool () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+(* Counter-based conservation (Check.Ledger) complements the pool
+   audit: it also covers transport traffic, which is allocated with
+   [Packet.make] and invisible to any pool.  Watch the links right
+   after topology construction, assert the delta at the end. *)
+let watch_links links =
+  let ledger = Check.Ledger.create () in
+  List.iter (Check.Ledger.watch_link ledger) links;
+  ledger
+
+let ledger_ok ledger =
+  match Check.Ledger.check ledger with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
 (* One pooled link feeding a counter, every delivery released back. *)
 let pooled_link ?(rate = Engine.Time.gbps 1) ?(delay = Engine.Time.us 1)
     ?qdisc () =
@@ -36,6 +50,7 @@ let test_link_down_drops_and_up_resumes () =
   (* 1500 B at 1 Gbps serialises in 12 us: at t=30us two packets have
      delivered, one is on the wire, the rest are queued. *)
   let sim, pool, link, delivered = pooled_link () in
+  let ledger = watch_links [ link ] in
   for _ = 1 to 10 do
     send_one pool link
   done;
@@ -53,14 +68,17 @@ let test_link_down_drops_and_up_resumes () =
   checki "wire empty" 0 (Link.in_flight_pkts link);
   checki "every lost packet counted" (10 + 1 - before) (Link.fault_drops link);
   audit_ok ~links:[ link ] ~pool ();
+  ledger_ok ledger;
   Link.set_up link;
   send_one pool link;
   Engine.Sim.run ~until:(Engine.Time.ms 2) sim;
   checki "delivery resumes after set_up" (before + 1) !delivered;
-  audit_ok ~links:[ link ] ~pool ()
+  audit_ok ~links:[ link ] ~pool ();
+  ledger_ok ledger
 
 let test_fault_plan_schedules_and_logs () =
   let sim, pool, link, _ = pooled_link () in
+  let ledger = watch_links [ link ] in
   let fault = Fault.plan ~seed:3 sim in
   Fault.link_down fault ~at:(Engine.Time.us 100) link;
   Fault.link_up fault ~at:(Engine.Time.us 300) link;
@@ -69,7 +87,8 @@ let test_fault_plan_schedules_and_logs () =
   Engine.Sim.run ~until:(Engine.Time.us 400) sim;
   checkb "up after scheduled repair" true (Link.is_up link);
   checki "both transitions logged" 2 (List.length (Fault.events fault));
-  audit_ok ~links:[ link ] ~pool ()
+  audit_ok ~links:[ link ] ~pool ();
+  ledger_ok ledger
 
 (* --------------------------- loss processes ------------------------ *)
 
@@ -79,6 +98,7 @@ let ge_run seed =
   in
   let fault = Fault.plan ~seed sim in
   Fault.gilbert_elliott fault ~p_gb:0.05 ~p_bg:0.2 ~loss_bad:0.5 link;
+  let ledger = watch_links [ link ] in
   let sent = ref 0 in
   ignore
     (Engine.Sim.periodic sim ~interval:(Engine.Time.us 2) (fun () ->
@@ -87,6 +107,7 @@ let ge_run seed =
          !sent < 1000));
   Engine.Sim.run sim;
   audit_ok ~links:[ link ] ~pool ();
+  ledger_ok ledger;
   (Fault.loss_drops fault, !delivered)
 
 let test_gilbert_elliott_lossy_and_deterministic () =
@@ -103,6 +124,7 @@ let test_corrupt_rate_and_validation () =
   in
   let fault = Fault.plan ~seed:5 sim in
   Fault.corrupt fault ~rate:0.3 link;
+  let ledger = watch_links [ link ] in
   let sent = ref 0 in
   ignore
     (Engine.Sim.periodic sim ~interval:(Engine.Time.us 2) (fun () ->
@@ -114,6 +136,7 @@ let test_corrupt_rate_and_validation () =
   checki "conservation" 1000 (drops + !delivered);
   checkb "rate roughly honoured" true (drops > 200 && drops < 400);
   audit_ok ~links:[ link ] ~pool ();
+  ledger_ok ledger;
   checkb "rate >= 1 rejected" true
     (try
        Fault.corrupt fault ~rate:1.0 link;
@@ -137,6 +160,8 @@ let test_blackhole_absorbs_in_window () =
   let routes = Routing.create () in
   Routing.add routes 7 port;
   Switch.set_forward sw (Routing.static routes);
+  let ledger = watch_links [ out ] in
+  Check.Ledger.watch_switch ledger sw;
   let fault = Fault.plan sim in
   Fault.blackhole fault ~from:(Engine.Time.us 10) ~until:(Engine.Time.us 20)
     sw ~dst:7;
@@ -152,12 +177,14 @@ let test_blackhole_absorbs_in_window () =
   checki "inside the window absorbed" 1 (Fault.blackholed fault);
   checki "outside the window forwarded" 2 !delivered;
   checki "plan total counts it" 1 (Fault.drops fault);
-  audit_ok ~links:[ out ] ~pool ()
+  audit_ok ~links:[ out ] ~pool ();
+  ledger_ok ledger
 
 (* ------------------------ routing reconvergence -------------------- *)
 
 let test_reroute_detection_delay_and_flaps () =
   let sim, pool, link, _ = pooled_link () in
+  let ledger = watch_links [ link ] in
   let routes = Routing.create () in
   Routing.add routes 5 0;
   Routing.add routes 5 1;
@@ -181,7 +208,8 @@ let test_reroute_detection_delay_and_flaps () =
   Engine.Sim.run ~until:(Engine.Time.us 550) sim;
   checkb "restored after detect" false (Routing.port_removed routes 0);
   checki "both ports back" 2 (Array.length (Routing.ports_for routes 5));
-  audit_ok ~links:[ link ] ~pool ()
+  audit_ok ~links:[ link ] ~pool ();
+  ledger_ok ledger
 
 (* ------------------------------- audit ----------------------------- *)
 
@@ -231,20 +259,22 @@ let test_pathlet_suspect_probe_revive () =
   checkb "revived" false (Mtp.Pathlet.suspect tbl r1);
   checki "no suspects left" 0 (List.length (Mtp.Pathlet.suspects tbl));
   checki "strikes cleared" 0 (Mtp.Pathlet.strikes tbl r1);
-  audit_ok ~pool:(Packet.pool (Engine.Sim.create ())) ()
+  (match Check.Oracle.pathlets_consistent tbl with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
 
 let mtp_pair () =
   let sim = Engine.Sim.create () in
   let topo = Topology.create sim in
   let a = Topology.host topo "a" and b = Topology.host topo "b" in
-  let ab, _ =
+  let ab, ba =
     Topology.wire_host_pair topo a b ~rate:(Engine.Time.gbps 10)
       ~delay:(Engine.Time.us 2) ()
   in
-  (sim, a, b, ab)
+  (sim, a, b, ab, watch_links [ ab; ba ])
 
 let test_endpoint_deadline_on_error () =
-  let sim, a, b, ab = mtp_pair () in
+  let sim, a, b, ab, ledger = mtp_pair () in
   let ea = Mtp.Endpoint.create a and eb = Mtp.Endpoint.create b in
   Mtp.Endpoint.bind eb ~port:80 (fun _ -> ());
   Link.set_down ab;
@@ -262,10 +292,13 @@ let test_endpoint_deadline_on_error () =
   checkb "after the deadline" true
     (match !errors with [ e ] -> e >= Engine.Time.us 500 | _ -> false);
   checki "failure counted" 1 (Mtp.Endpoint.failed ea);
-  audit_ok ~pool:(Packet.pool sim) ()
+  ledger_ok ledger;
+  match Check.Oracle.endpoint_ok ea with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
 
 let test_endpoint_deadline_met_no_error () =
-  let sim, a, b, _ = mtp_pair () in
+  let sim, a, b, _, ledger = mtp_pair () in
   let ea = Mtp.Endpoint.create a and eb = Mtp.Endpoint.create b in
   Mtp.Endpoint.bind eb ~port:80 (fun _ -> ());
   let errors = ref 0 and completed = ref false in
@@ -279,12 +312,15 @@ let test_endpoint_deadline_met_no_error () =
   checkb "completed" true !completed;
   checki "no error" 0 !errors;
   checki "no failures counted" 0 (Mtp.Endpoint.failed ea);
-  audit_ok ~pool:(Packet.pool sim) ()
+  ledger_ok ledger;
+  match Check.Oracle.endpoint_ok ea with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
 
 (* --------------------------- TCP abort ----------------------------- *)
 
 let test_tcp_max_retries_aborts () =
-  let sim, a, b, ab = mtp_pair () in
+  let sim, a, b, ab, ledger = mtp_pair () in
   let client = Transport.Tcp.install ~max_retries:3 a in
   let server = Transport.Tcp.install b in
   Transport.Tcp.listen server ~port:80 (fun _ -> ());
@@ -299,12 +335,12 @@ let test_tcp_max_retries_aborts () =
   checkb "connection aborted" true (Transport.Tcp.aborted conn);
   checkb "on_error delivered" true !errored;
   checkb "no longer open" false (Transport.Tcp.is_open conn);
-  audit_ok ~pool:(Packet.pool sim) ()
+  ledger_ok ledger
 
 let test_tcp_survives_within_retry_budget () =
   (* An outage shorter than the retry budget: the connection must come
      back, not abort. *)
-  let sim, a, b, ab = mtp_pair () in
+  let sim, a, b, ab, ledger = mtp_pair () in
   let client = Transport.Tcp.install ~max_retries:15 a in
   let server = Transport.Tcp.install b in
   let received = ref 0 in
@@ -324,7 +360,7 @@ let test_tcp_survives_within_retry_budget () =
   checkb "not aborted" false (Transport.Tcp.aborted conn);
   checki "all bytes eventually through" 100_000 !received;
   checkb "timeouts were taken" true (Transport.Tcp.timeouts conn > 0);
-  audit_ok ~pool:(Packet.pool sim) ()
+  ledger_ok ledger
 
 let suite =
   [ Alcotest.test_case "link down/up" `Quick test_link_down_drops_and_up_resumes;

@@ -13,4 +13,5 @@ let () =
       ("innetwork", Test_innetwork.suite);
       ("experiments", Test_experiments.suite);
       ("oracle", Test_oracle.suite);
+      ("check", Test_check.suite);
       ("lint", Test_lint.suite) ]
