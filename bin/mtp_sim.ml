@@ -4,9 +4,13 @@
    reports; `--series` dumps raw (time, value) rows for plotting.
 
    `--jobs N` runs the parallelizable commands (sweeps, failover,
-   replications, `all`) on N worker domains via Runner.Pool.  The
-   runner's determinism contract makes every byte of output identical
-   for any N; parallelism only buys wall time. *)
+   replications, `all`) on N worker domains via Runner.Pool; the
+   multi-point commands submit one flat job grid (points x
+   replications x schemes) so the pool stays saturated.
+   `par-leafspine` instead parallelizes INSIDE one scenario: per-leaf
+   partitions under the conservative epoch runner (Runner.Epoch).
+   Either way the determinism contract makes every byte of output
+   identical for any N; parallelism only buys wall time. *)
 
 open Cmdliner
 open Experiments
@@ -18,9 +22,9 @@ let dump_series =
 let jobs_arg =
   let doc =
     "Worker domains for parallelizable commands (sweeps, failover, \
-     replications, all); 0 picks one per core.  Output is byte-identical \
-     for any value.  Values above 1 refuse $(b,--trace)/$(b,--metrics) \
-     (telemetry is main-domain only)."
+     replications, all, par-leafspine); 0 picks one per core.  Output is \
+     byte-identical for any value.  Values above 1 refuse \
+     $(b,--trace)/$(b,--metrics) (telemetry is main-domain only)."
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
@@ -386,28 +390,97 @@ let failover_cmd =
 (* ------------------------------ sweeps ----------------------------- *)
 
 let sweeps_cmd =
-  let run opts =
-    print_result opts (Sweeps.fig5_result ~jobs:opts.jobs ());
-    print_result opts (Sweeps.fig6_result ~jobs:opts.jobs ())
+  let run opts reps =
+    (* Both sweeps flattened into one pool: every (point, replication)
+       cell is its own job, so the grid is points x reps wide and no
+       worker idles behind a monolithic sweep. *)
+    let print = print_result opts in
+    Exp_common.run_jobs ~jobs:opts.jobs
+      (Sweeps.fig5_result_jobs ~reps ~emit:print ()
+      @ Sweeps.fig6_result_jobs ~reps ~emit:print ())
+  in
+  let reps =
+    Arg.(value & opt int 1
+         & info [ "reps" ]
+             ~doc:
+               "Replications per sweep point under seeds derived per \
+                point (rows report per-point means; parallel jobs, see \
+                --jobs).")
   in
   Cmd.v
     (Cmd.info "sweeps"
        ~doc:
          "Parameter sweeps: Fig 5 vs alternation frequency, Fig 6 vs \
           offered load")
-    Term.(const run $ output_opts)
+    Term.(const run $ output_opts $ reps)
+
+(* --------------------------- par-leafspine ------------------------- *)
+
+let par_leafspine_cmd =
+  let run opts seed duration transport leaves spines hosts msg_kb =
+    if leaves < 2 then begin
+      Format.eprintf "mtp_sim par-leafspine: --leaves must be >= 2@.";
+      Stdlib.exit 2
+    end;
+    let config =
+      { Par_leafspine.leaves;
+        spines;
+        hosts_per_leaf = hosts;
+        message_bytes = msg_kb * 1000;
+        duration = Engine.Time.ms duration;
+        seed;
+        transport }
+    in
+    print_result opts (Par_leafspine.result ~jobs:opts.jobs ~config ())
+  in
+  let transport =
+    Arg.(value
+         & opt (enum [ ("dctcp", Par_leafspine.Dctcp);
+                       ("mtp", Par_leafspine.Mtp) ])
+             Par_leafspine.Dctcp
+         & info [ "transport" ] ~docv:"NAME"
+             ~doc:"Transport on every host: $(b,dctcp) or $(b,mtp).")
+  in
+  let leaves =
+    Arg.(value & opt int 4
+         & info [ "leaves" ] ~doc:"Leaf switches (= partitions); >= 2.")
+  in
+  let spines =
+    Arg.(value & opt int 4 & info [ "spines" ] ~doc:"Spine switches.")
+  in
+  let hosts =
+    Arg.(value & opt int 8 & info [ "hosts" ] ~doc:"Hosts per leaf.")
+  in
+  let msg_kb =
+    Arg.(value & opt int 100
+         & info [ "msg-kb" ] ~doc:"Message size (KB) of each chain.")
+  in
+  Cmd.v
+    (Cmd.info "par-leafspine"
+       ~doc:
+         "One large leaf-spine scenario on the partitioned world: per-leaf \
+          simulation domains exchange fabric traffic through \
+          lookahead-delay conduits with deterministic epoch barriers, so a \
+          single scenario uses all --jobs cores with byte-identical output")
+    Term.(const run $ output_opts $ seed $ duration_ms 4 $ transport
+          $ leaves $ spines $ hosts $ msg_kb)
 
 (* -------------------------------- all ------------------------------ *)
 
 let all_cmd =
   let run opts smoke =
-    (* Every figure and table of the repo in one invocation, as one
-       job list on the runner: each exhibit is a closed job returning
-       its result; printing happens afterwards on the main domain, in
-       submission order.  `--jobs N` divides the wall time by ~N with
-       byte-identical output.  `--smoke` shortens the long-running
-       exhibits (fig6, failover, both sweeps) so CI can exercise the
-       whole pipeline in about a minute; publication runs omit it. *)
+    (* Every figure and table of the repo in one invocation, as ONE
+       flat job grid on the runner: single-scenario exhibits are one
+       job each, and the multi-point exhibits (failover's four
+       schemes, each sweep's points) are flattened into per-cell jobs
+       with assembly barriers — ~30 pool jobs instead of 18, so the
+       pool stays saturated instead of idling behind the monolithic
+       sweeps.  All printing happens afterwards on the main domain,
+       in submission order: `--jobs N` divides the wall time by ~N
+       with byte-identical output.  `--smoke` shortens the
+       long-running exhibits (fig6, failover, both sweeps) so CI can
+       exercise the whole pipeline in about a minute; publication
+       runs omit it. *)
     let fig6_config =
       if smoke then
         Some
@@ -428,28 +501,29 @@ let all_cmd =
     and sweep6_duration =
       if smoke then Some (Engine.Time.ms 16) else None
     in
-    let exhibits : (unit -> Exp_common.result) list =
-      [ (fun () -> Table1_features.result ());
-        (fun () -> Fig2_proxy.result ());
-        (fun () -> Fig3_one_rpf.result ());
-        (fun () -> Fig5_multipath.result ());
-        (fun () -> Fig6_loadbalance.result ?config:fig6_config ());
-        (fun () -> Fig7_isolation.result ());
-        (fun () -> Ablation_pathlets.result ());
-        (fun () -> Ablation_algorithms.result ());
-        (fun () -> Ablation_trimming.result ());
-        (fun () -> Ablation_exclusion.result ());
-        (fun () -> Ablation_acks.result ());
-        (fun () -> Header_overhead.result ());
-        (fun () -> Coexistence.result ());
-        (fun () -> Ext_leafspine.result ());
-        (fun () -> Ext_messaging.result ());
-        (fun () -> Ext_failover.result ?config:failover_config ());
-        (fun () -> Sweeps.fig5_result ?duration:sweep5_duration ());
-        (fun () -> Sweeps.fig6_result ?duration:sweep6_duration ()) ]
+    let print = print_result opts in
+    let single mk = Exp_common.job mk ~commit:print in
+    let grid =
+      [ single (fun () -> Table1_features.result ());
+        single (fun () -> Fig2_proxy.result ());
+        single (fun () -> Fig3_one_rpf.result ());
+        single (fun () -> Fig5_multipath.result ());
+        single (fun () -> Fig6_loadbalance.result ?config:fig6_config ());
+        single (fun () -> Fig7_isolation.result ());
+        single (fun () -> Ablation_pathlets.result ());
+        single (fun () -> Ablation_algorithms.result ());
+        single (fun () -> Ablation_trimming.result ());
+        single (fun () -> Ablation_exclusion.result ());
+        single (fun () -> Ablation_acks.result ());
+        single (fun () -> Header_overhead.result ());
+        single (fun () -> Coexistence.result ());
+        single (fun () -> Ext_leafspine.result ());
+        single (fun () -> Ext_messaging.result ()) ]
+      @ Ext_failover.result_jobs ?config:failover_config ~emit:print ()
+      @ Sweeps.fig5_result_jobs ?duration:sweep5_duration ~emit:print ()
+      @ Sweeps.fig6_result_jobs ?duration:sweep6_duration ~emit:print ()
     in
-    Runner.Pool.map ~jobs:opts.jobs (fun mk -> mk ()) exhibits
-    |> List.iter (print_result opts)
+    Exp_common.run_jobs ~jobs:opts.jobs grid
   in
   let smoke_arg =
     Arg.(
@@ -564,8 +638,8 @@ let fuzz_cmd =
          "Seeded fuzzing: random bounded scenarios under invariant oracles \
           (packet conservation, event order, transport state) and \
           differential pairings (batched vs classic datapath, burst limit \
-          1, inert fault plans, worker-domain runs); failures shrink to \
-          replayable corpus files")
+          1, inert fault plans, worker-domain runs, partitioned per-leaf \
+          domain runs); failures shrink to replayable corpus files")
     Term.(const run $ cases $ fseed $ corpus $ budget $ replay)
 
 let () =
@@ -579,7 +653,7 @@ let () =
     Cmd.group info
       [ fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd;
         features_cmd; extensions_cmd; messaging_cmd; failover_cmd;
-        sweeps_cmd; all_cmd; fuzz_cmd ]
+        sweeps_cmd; par_leafspine_cmd; all_cmd; fuzz_cmd ]
   in
   (* Graceful degradation: unknown subcommands/flags and malformed
      option values print cmdliner's usage/error text and exit 2 (the

@@ -9,6 +9,9 @@
    - default vs single-packet bursts (Datapath.with_burst_limit 1)
    - absent vs never-firing fault plan (when the spec has no faults)
    - inline vs worker-domain execution (Runner.Pool, jobs=2)
+   - inline vs domains: the partitioned intra-scenario runner
+     (Scenario.run_domains on Netsim.Partition + Runner.Epoch) at
+     jobs=1 vs jobs=2, for leaf-spine specs
 
    The [inject] hook exists for the mutation test: it installs a
    deliberate conservation bug into a built scenario, proving the
@@ -74,6 +77,31 @@ let run_case ?inject (spec : Spec.t) =
           (Diff.compare_outputs ~expect_label:"baseline"
              ~got_label:"pool worker 2" base db)
       | _ -> Error "pool returned wrong arity"
+    in
+    (* Intra-scenario domain runner: the partitioned build advanced
+       inline (epoch loop, jobs=1, no domains) and the same build on
+       two worker domains must render one digest and pass the same
+       oracles.  This is the determinism proof for the conservative
+       parallel DES — the serial reference is the identical algorithm,
+       not the single-sim build, whose same-instant tie order a
+       partitioned world deliberately does not reproduce. *)
+    let* () =
+      if Scenario.domains_applicable spec then
+        let* d1 =
+          Result.map_error
+            (fun m -> "domains jobs=1: " ^ m)
+            (Scenario.run_domains ~jobs:1 spec)
+        in
+        let* d2 =
+          Result.map_error
+            (fun m -> "domains jobs=2: " ^ m)
+            (Scenario.run_domains ~jobs:2 spec)
+        in
+        Result.map_error
+          (fun msg -> "differential [domains jobs=2]: " ^ msg)
+          (Diff.compare_outputs ~expect_label:"domains jobs=1"
+             ~got_label:"domains jobs=2" d1 d2)
+      else Ok ()
     in
     Ok ()
   in

@@ -322,6 +322,250 @@ let digest t =
   line "end t=%d" (Engine.Sim.now t.sim);
   Buffer.contents buf
 
+(* ----------------- domain-mode (partitioned) build ------------------ *)
+
+(* The same scenario, built on [Netsim.Partition]: one partition per
+   leaf, spines round-robin, fabric directions that cross partitions
+   realized as conduits with the full propagation delay.  The digest
+   mirrors [digest]'s structure but concatenates the per-partition
+   traces in partition order (a canonical merge — the classic global
+   interleave would require the single-sim heap's tie-breaking, which
+   a partitioned world deliberately does not reproduce).  The
+   differential pairing therefore compares domain-mode against
+   domain-mode: jobs=1 (pure sequential, no domains spawned) is the
+   reference, higher jobs values must render byte-identical output.
+
+   Workload state is strictly partition-confined: each trace buffer,
+   monotone oracle and fault plan belongs to one partition; a flow's
+   completion slot is written only by its source host's partition.
+   The ledger and MTP endpoints are read on main after the run. *)
+
+let domains_applicable (spec : Spec.t) =
+  match spec.Spec.topo with
+  | Spec.Leaf_spine { leaves; _ } -> leaves >= 2
+  | _ -> false
+
+let run_domains ?(jobs = 1) (spec : Spec.t) =
+  (match spec.Spec.topo with
+  | Spec.Leaf_spine { leaves; _ } when leaves >= 2 -> ()
+  | _ -> invalid_arg "Scenario.run_domains: spec is not domains_applicable");
+  let leaves, spines, hosts_per_leaf =
+    match spec.Spec.topo with
+    | Spec.Leaf_spine { leaves; spines; hosts } -> (leaves, spines, hosts)
+    | _ -> assert false
+  in
+  let rate = Engine.Time.mbps spec.Spec.rate_mbps in
+  let delay = Engine.Time.us spec.Spec.delay_us in
+  let counter = ref 0 in
+  let q = make_qdisc spec counter in
+  let pls =
+    Partition.leaf_spine ~seed:spec.Spec.seed ~leaves ~spines ~hosts_per_leaf
+      ~host_rate:rate ~fabric_rate:rate ~delay ~uplink_qdisc:q ()
+  in
+  let world = pls.Partition.pls_world in
+  let nparts = Partition.nparts world in
+  let duration = Engine.Time.us spec.Spec.duration_us in
+  let traces = Array.init nparts (fun _ -> Buffer.create 1024) in
+  let tr p fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string traces.(p) (s ^ "\n")) fmt
+  in
+  let all = Array.concat (Array.to_list pls.Partition.pls_hosts) in
+  let part_of_host i = i / hosts_per_leaf in
+  let switches =
+    Array.append pls.Partition.pls_leaves pls.Partition.pls_spines
+  in
+  let sw_part =
+    Array.append
+      (Array.init leaves (fun l -> l))
+      pls.Partition.pls_spine_part
+  in
+  let links = pls.Partition.pls_links in
+  let link_part = pls.Partition.pls_link_part in
+  let host_wraps = Array.map (fun n -> Host.create n) all in
+  let endpoints = ref [] in
+  let stacks =
+    Array.map
+      (fun h ->
+        let packed, ep = attach_stack spec.Spec.transport h in
+        (match ep with Some e -> endpoints := e :: !endpoints | None -> ());
+        packed)
+      host_wraps
+  in
+  Array.iteri
+    (fun i stack ->
+      let here = Host.addr host_wraps.(i) in
+      let p = part_of_host i in
+      let psim = Partition.sim world p in
+      Transport_intf.listen stack ~port:msg_port
+        ~on_message:(fun d ->
+          tr p "rx t=%d at=%d from=%d:%d size=%d lat=%d" (Engine.Sim.now psim)
+            here d.Transport_intf.msg_src d.Transport_intf.msg_src_port
+            d.Transport_intf.msg_size d.Transport_intf.msg_latency)
+        ())
+    stacks;
+  let flows = Array.of_list spec.Spec.flows in
+  let completions = Array.make (Array.length flows) 0 in
+  let nhosts = Array.length all in
+  Array.iteri
+    (fun i f ->
+      let src = f.Spec.f_src mod nhosts in
+      let dst = ref (f.Spec.f_dst mod nhosts) in
+      if !dst = src then dst := (!dst + 1) mod nhosts;
+      if !dst <> src then begin
+        let dst_addr = Node.addr all.(!dst) in
+        let p = part_of_host src in
+        let psim = Partition.sim world p in
+        let src_stack = stacks.(src) in
+        ignore
+          (Engine.Sim.schedule psim ~at:(Engine.Time.us f.Spec.f_start_us)
+             (fun () ->
+               Transport_intf.send_message src_stack ~dst:dst_addr
+                 ~dst_port:msg_port
+                 ~on_complete:(fun fct ->
+                   completions.(i) <- completions.(i) + 1;
+                   tr p "done flow=%d t=%d fct=%d" i (Engine.Sim.now psim) fct)
+                 ~size:f.Spec.f_size ()))
+      end)
+    flows;
+  (* Faults: one plan per partition that needs one, seeded by
+     (spec seed, partition) so fault randomness is partition-local and
+     jobs-independent. *)
+  let plans = Array.make nparts None in
+  let plan_for p =
+    match plans.(p) with
+    | Some pl -> pl
+    | None ->
+      let pl =
+        Fault.plan
+          ~seed:(spec.Spec.seed lxor 0xFA171 lxor p)
+          (Partition.sim world p)
+      in
+      plans.(p) <- Some pl;
+      pl
+  in
+  let nlinks = Array.length links in
+  List.iter
+    (fun f ->
+      match f with
+      | Spec.F_down_up { link; down_us; up_us } ->
+        let li = link mod nlinks in
+        let pl = plan_for link_part.(li) in
+        Fault.link_down pl ~at:(Engine.Time.us down_us) links.(li);
+        Fault.link_up pl ~at:(Engine.Time.us up_us) links.(li)
+      | Spec.F_corrupt { link; rate_pct } ->
+        let li = link mod nlinks in
+        let rate = float_of_int (rate_pct mod 100) /. 100.0 in
+        Fault.corrupt (plan_for link_part.(li)) ~rate links.(li)
+      | Spec.F_gilbert { link } ->
+        let li = link mod nlinks in
+        Fault.gilbert_elliott (plan_for link_part.(li)) links.(li))
+    spec.Spec.faults;
+  (* Oracles: ledger baselines on main (read back on main after the
+     run); monotone watchers are per-partition. *)
+  let ledger = Ledger.create () in
+  Array.iter (Ledger.watch_link ledger) links;
+  Array.iter (Ledger.watch_switch ledger) switches;
+  let monos = Array.init nparts (fun _ -> Oracle.monotone ()) in
+  Array.iteri
+    (fun i l -> Link.add_tap l (Oracle.tap monos.(link_part.(i))))
+    links;
+  Array.iteri
+    (fun i sw -> Switch.add_tap sw (Oracle.tap monos.(sw_part.(i))))
+    switches;
+  (* Per-partition queue sampler over the partition's own links,
+     keyed by global link index. *)
+  let interval = max (Engine.Time.us 40) (duration / 16) in
+  for p = 0 to nparts - 1 do
+    let psim = Partition.sim world p in
+    ignore
+      (Engine.Sim.periodic psim ~interval (fun () ->
+           Array.iteri
+             (fun i l ->
+               if link_part.(i) = p then
+                 tr p "q t=%d link=%d q=%d f=%d b=%d" (Engine.Sim.now psim) i
+                   (Link.queued_pkts l) (Link.in_flight_pkts l)
+                   (Link.bytes_sent l))
+             links;
+           Engine.Sim.now psim < duration))
+  done;
+  Partition.run ~jobs ~until:duration world;
+  (* Post-run, all on main. *)
+  let failures =
+    Ledger.failures ledger
+    @ List.concat_map
+        (fun m ->
+          match Oracle.monotone_result m with Ok () -> [] | Error e -> [ e ])
+        (Array.to_list monos)
+    @ (match Oracle.completions_once completions with
+      | Ok () -> []
+      | Error m -> [ m ])
+    @ List.filter_map
+        (fun ep ->
+          match Oracle.endpoint_ok ep with Ok () -> None | Error m -> Some m)
+        (List.rev !endpoints)
+  in
+  match failures with
+  | _ :: _ -> Error (String.concat "; " failures)
+  | [] ->
+    let buf = Buffer.create 4096 in
+    Array.iter (Buffer.add_buffer buf) traces;
+    let line fmt =
+      Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+    in
+    line "== links ==";
+    Array.iteri
+      (fun i l ->
+        let qd = Link.qdisc l in
+        line
+          "link %d %s sends=%d delivered=%d drops=%d marks=%d trims=%d \
+           fault=%d queued=%d inflight=%d bytes=%d"
+          i (Link.name l) (Link.sends l) (Link.delivered_pkts l)
+          (qd.Qdisc.drops ()) (qd.Qdisc.marks ()) (qd.Qdisc.trims ())
+          (Link.fault_drops l) (Link.queued_pkts l) (Link.in_flight_pkts l)
+          (Link.bytes_sent l))
+      links;
+    line "== switches ==";
+    Array.iter
+      (fun sw ->
+        line "switch %s rx=%d inj=%d fwd=%d drop=%d cons=%d" (Switch.name sw)
+          (Switch.received sw) (Switch.injected sw) (Switch.forwarded sw)
+          (Switch.dropped sw) (Switch.consumed sw))
+      switches;
+    line "== stacks ==";
+    Array.iteri
+      (fun i stack ->
+        let s = Transport_intf.stats stack in
+        line "stack host=%d id=%s tx=%d rx=%d rx_bytes=%d retx=%d"
+          (Host.addr host_wraps.(i))
+          (Transport_intf.id stack) s.Transport_intf.tx_messages
+          s.Transport_intf.rx_messages s.Transport_intf.rx_bytes
+          s.Transport_intf.retransmits)
+      stacks;
+    line "== hosts ==";
+    Array.iter
+      (fun h -> line "host %d unclaimed=%d" (Host.addr h) (Host.unclaimed h))
+      host_wraps;
+    line "== faults ==";
+    let loss, bh, evs =
+      Array.fold_left
+        (fun (l, b, e) pl ->
+          match pl with
+          | None -> (l, b, e)
+          | Some pl ->
+            ( l + Fault.loss_drops pl,
+              b + Fault.blackholed pl,
+              e + List.length (Fault.events pl) ))
+        (0, 0, 0) plans
+    in
+    line "fault loss=%d blackholed=%d events=%d" loss bh evs;
+    line "completions %s"
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int completions)));
+    for p = 0 to nparts - 1 do
+      line "part %d end t=%d" p (Engine.Sim.now (Partition.sim world p))
+    done;
+    Ok (Buffer.contents buf)
+
 let oracle_failures t =
   let ledger = Ledger.failures t.ledger in
   let monotone =

@@ -35,6 +35,27 @@ val oracle_failures : t -> string list
 (** All oracle violations: conservation, event order, completion
     uniqueness, MTP pathlet/window consistency.  Empty = clean. *)
 
+(** {1 Domain mode}
+
+    The same scenario built on [Netsim.Partition] (one partition per
+    leaf) and driven by the conservative epoch runner.  Digests are
+    canonical per-partition renderings: compare domain-mode runs
+    against each other across [jobs] values — not against {!digest},
+    whose global trace interleaving depends on single-heap tie
+    breaking that a partitioned world deliberately does not
+    reproduce. *)
+
+val domains_applicable : Spec.t -> bool
+(** Whether {!run_domains} supports the spec's topology (leaf-spine
+    with at least two leaves). *)
+
+val run_domains : ?jobs:int -> Spec.t -> (string, string) result
+(** Build the partitioned equivalent, run it to the horizon on [jobs]
+    workers, and return the domain-mode digest — or [Error] with the
+    oracle violations.  Byte-identical output for any [jobs] is the
+    contract the fuzz pairing enforces.
+    @raise Invalid_argument when not {!domains_applicable}. *)
+
 (**/**)
 
 val links : t -> Netsim.Link.t array

@@ -41,6 +41,11 @@ type t = {
   mutable gens : int array;
   mutable free : int array;
   mutable free_len : int;
+  mutable horizon : Time.t;
+      (* Epoch window bound ([run_before]): the burst-lookahead
+         primitives must not move the clock to or past it, because a
+         cross-partition arrival may still be exchanged in at exactly
+         this instant.  [max_int] outside a window. *)
 }
 
 let gen_bits = 31
@@ -60,7 +65,8 @@ let create ?(seed = 42) () =
     actions = Array.make cap noop;
     gens = Array.make cap 0;
     free = Array.init cap (fun i -> cap - 1 - i);
-    free_len = cap }
+    free_len = cap;
+    horizon = max_int }
 
 let now t = t.clock
 
@@ -157,6 +163,32 @@ let run ?until t =
     done;
     if t.clock < limit then t.clock <- limit
 
+(* Epoch hooks for the conservative parallel runner (Runner.Epoch /
+   Netsim.Partition).  [run_before] is the half-open window variant of
+   [run]: events strictly before [limit] execute, events at exactly
+   [limit] stay pending for the next window — so a window boundary
+   never splits a same-instant event group between two epochs.  The
+   clock still lands on [limit], which is legal as a scheduling floor
+   because events at [at = now] are allowed. *)
+let run_before t ~limit =
+  t.horizon <- limit;
+  let continue = ref true in
+  while !continue do
+    if Eventqueue.is_empty t.heap then continue := false
+    else if Eventqueue.min_time t.heap >= limit then continue := false
+    else ignore (step t)
+  done;
+  t.horizon <- max_int;
+  if t.clock < limit then t.clock <- limit
+
+(* Conservative peek: cancelled events still occupy their heap slot,
+   so the reported time may belong to a no-op — that only costs the
+   epoch loop a redundant window, never correctness, and keeps the
+   result a pure function of scheduling history (deterministic). *)
+let next_time t =
+  if Eventqueue.is_empty t.heap then None
+  else Some (Eventqueue.min_time t.heap)
+
 (* Burst lookahead: the primitive behind per-burst datapath events.  A
    component that knows the exact times of its next sub-events (e.g. a
    link that planned a whole burst of deliveries) asks the sim whether
@@ -167,7 +199,9 @@ let run ?until t =
 let try_advance t ~upto =
   if upto < t.clock then
     invalid_arg "Sim.try_advance: upto is before now"
-  else if Eventqueue.is_empty t.heap || Eventqueue.min_time t.heap > upto
+  else if
+    upto < t.horizon
+    && (Eventqueue.is_empty t.heap || Eventqueue.min_time t.heap > upto)
   then begin
     t.clock <- upto;
     true
@@ -221,6 +255,7 @@ let advance_if_next tm =
   let h = tm.tm_handle in
   h >= 0
   && (not (Eventqueue.is_empty t.heap))
+  && Eventqueue.min_time t.heap < t.horizon
   && Eventqueue.min_value t.heap = h lsr gen_bits
   &&
   let time = Eventqueue.min_time t.heap in
@@ -260,7 +295,8 @@ let run_plan_inline tm =
   tm.tm_plan_seq >= 0
   &&
   let t = tm.tm_sim in
-  (Eventqueue.is_empty t.heap
+  tm.tm_plan_at < t.horizon
+  && (Eventqueue.is_empty t.heap
   ||
   let mt = Eventqueue.min_time t.heap in
   mt > tm.tm_plan_at

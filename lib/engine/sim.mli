@@ -161,6 +161,21 @@ val run : ?until:Time.t -> t -> unit
     event would fire strictly after [until] and advances the clock to
     [until]. *)
 
+val run_before : t -> limit:Time.t -> unit
+(** Half-open window drain for epoch-based parallel simulation:
+    execute every pending event with time {e strictly} less than
+    [limit], then advance the clock to [limit].  Events at exactly
+    [limit] are left pending, so consecutive windows
+    [\[t0,t1) \[t1,t2) ...] partition the event sequence without ever
+    splitting a same-instant group across a boundary.  See DESIGN.md
+    "Conservative parallel DES". *)
+
+val next_time : t -> Time.t option
+(** Earliest pending event time, or [None] on an empty heap.  May
+    report a cancelled event's slot (conservative, like the heap
+    itself) — callers use it as a lower bound, e.g. the epoch driver's
+    idle-window skip. *)
+
 val pending : t -> int
 (** Number of events in the heap (including cancelled ones). *)
 

@@ -53,6 +53,27 @@ let replicate ?(jobs = 1) ?(seed = 42) ~reps run =
       { rep_seed; rep_value = run ~seed:rep_seed })
     (List.init reps (fun i -> i))
 
+(* Heterogeneous job grids: the existential packs each job's work
+   (runs on a worker domain) with its commit (runs on the main domain,
+   in submission order, after the whole pool drains).  Workers return
+   the commit closure partially applied to the work's value, so the
+   pool itself only ever sees one result type and the commit side
+   never races: everything observable happens on main, in list order,
+   whatever [jobs] is. *)
+type job = Job : (unit -> 'a) * ('a -> unit) -> job
+
+let job work ~commit = Job (work, commit)
+
+let barrier commit = Job ((fun () -> ()), commit)
+
+let run_jobs ?(jobs = 1) (js : job list) =
+  Runner.Pool.map ~jobs
+    (fun (Job (work, commit)) ->
+      let v = work () in
+      fun () -> commit v)
+    js
+  |> List.iter (fun k -> k ())
+
 let rep_mean_stddev xs =
   let n = float_of_int (List.length xs) in
   let mean = List.fold_left ( +. ) 0.0 xs /. n in

@@ -46,6 +46,35 @@ val replicate :
 val rep_mean_stddev : float list -> float * float
 (** Population mean and standard deviation of a replication metric. *)
 
+(** {1 Job grids}
+
+    A flat list of heterogeneous closed jobs for one {!Runner.Pool}
+    submission.  This is how multi-exhibit commands saturate the pool:
+    instead of one monolithic job per exhibit (whose inner points run
+    serially), every point/replication/scheme becomes its own job, so
+    [jobs = points x replications] and no worker idles behind one
+    long exhibit. *)
+
+type job
+(** One closed unit of work paired with a commit continuation. *)
+
+val job : (unit -> 'a) -> commit:('a -> unit) -> job
+(** [job work ~commit]: [work] runs on a worker domain and must be
+    closed (own [Sim], own seed, no shared mutable state); [commit]
+    runs on the main domain and may mutate shared state (fill a row
+    slot, print). *)
+
+val barrier : (unit -> unit) -> job
+(** A job with no work: its commit runs after the commits of every
+    job submitted before it.  Use it to assemble and emit a result
+    from row slots the preceding jobs' commits filled. *)
+
+val run_jobs : ?jobs:int -> job list -> unit
+(** Execute all works on the pool ([?jobs] as {!Runner.Pool.run}),
+    then run every commit on the calling domain in submission order.
+    Commits see every work completed; output is byte-identical for
+    any [jobs]. *)
+
 val write_csv : dir:string -> result -> string list
 (** Write each series of the result to [dir/<slug>.csv] as
     [time_us,value] rows (creating [dir] if needed) and the table, if

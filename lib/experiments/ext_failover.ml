@@ -197,15 +197,17 @@ type output = { schemes : scheme list }
    are otherwise independent simulations — a natural job list for the
    parallel runner.  The runner merges in key (= scheme) order, so
    the output is identical for any [jobs]. *)
+let scheme_list config =
+  [ ("TCP", fun () -> run_tcp config);
+    ("DCTCP", fun () -> run_dctcp config);
+    ("MTP (no exclusion)", fun () -> run_mtp config ~exclusion:false);
+    ("MTP (pathlet exclusion)", fun () -> run_mtp config ~exclusion:true) ]
+
 let run ?(jobs = 1) ?(config = default) () =
   { schemes =
       Runner.Pool.map ~jobs
         (fun (label, scheme_run) -> measure config label (scheme_run ()))
-        [ ("TCP", fun () -> run_tcp config);
-          ("DCTCP", fun () -> run_dctcp config);
-          ("MTP (no exclusion)", fun () -> run_mtp config ~exclusion:false);
-          ("MTP (pathlet exclusion)", fun () -> run_mtp config ~exclusion:true)
-        ] }
+        (scheme_list config) }
 
 let recovery_of o label =
   List.find_map
@@ -214,9 +216,7 @@ let recovery_of o label =
 
 let ms t = Engine.Time.to_float_us t /. 1_000.0
 
-let result ?jobs ?config () =
-  let cfg = Option.value config ~default in
-  let o = run ?jobs ?config () in
+let assemble cfg o =
   let table =
     Stats.Table.create
       ~columns:
@@ -264,3 +264,28 @@ let result ?jobs ?config () =
          exclusion-carrying MTP headers steer around the dead pathlet \
          after suspect_after consecutive RTOs" ]
     ()
+
+let result ?jobs ?config () =
+  let cfg = Option.value config ~default in
+  assemble cfg (run ?jobs ?config ())
+
+(* The same four schemes as a flat job grid for a shared pool: one
+   job per scheme measuring on a worker, a barrier assembling the
+   table/series result on main.  [jobs = schemes] from the caller's
+   pool instead of one monolithic exhibit job. *)
+let result_jobs ?config ~emit () =
+  let cfg = Option.value config ~default in
+  let schemes = scheme_list cfg in
+  let slots = Array.make (List.length schemes) None in
+  List.mapi
+    (fun i (label, scheme_run) ->
+      Exp_common.job
+        (fun () -> measure cfg label (scheme_run ()))
+        ~commit:(fun s -> slots.(i) <- Some s))
+    schemes
+  @ [ Exp_common.barrier
+        (fun () ->
+          emit
+            (assemble cfg
+               { schemes = List.filter_map Fun.id (Array.to_list slots) }))
+    ]

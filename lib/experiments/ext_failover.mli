@@ -53,3 +53,11 @@ val recovery_of : output -> string -> Engine.Time.t option
 (** Recovery time of the scheme with this label, if it recovered. *)
 
 val result : ?jobs:int -> ?config:config -> unit -> Exp_common.result
+
+val result_jobs :
+  ?config:config -> emit:(Exp_common.result -> unit) -> unit ->
+  Exp_common.job list
+(** {!result} as a flat job grid for a shared pool: one job per
+    scheme plus a barrier that assembles the result and passes it to
+    [emit].  Lets the [all] command run the four schemes as four pool
+    jobs instead of one monolithic exhibit. *)

@@ -5,30 +5,90 @@ type fig5_row = {
   ratio : float;
 }
 
-(* Every sweep point is a closed job: its own config, its own [Sim],
+(* Every sweep cell is a closed job: its own config, its own [Sim],
    and a seed derived from the base seed by stream index — a proper
-   SplitMix64 split, not [seed + i] arithmetic — so the point seeds
-   are a pure function of (seed, index) and the rows come back in
-   point order whatever [jobs] is. *)
-let point_seed ~seed i = Engine.Rng.as_seed (Engine.Rng.derive (Engine.Rng.create seed) i)
+   SplitMix64 split, not [seed + i] arithmetic — so the cell seeds
+   are a pure function of (seed, point index, replication index) and
+   the rows come back in point order whatever [jobs] is.
 
-let indexed xs = List.mapi (fun i x -> (i, x)) xs
+   With [reps = 1] the cell seed is [derive base i], exactly the
+   historical per-point seed, so single-replication sweeps stay
+   byte-identical to every earlier release.  With [reps > 1] cell
+   (i, r) uses [derive (derive base i) r] — a split of the point's
+   own stream — and each row reports the mean across its
+   replications (a single replication passes through bit-exactly:
+   summing one float and dividing by 1.0 are both identities).
 
-let fig5_flip_sweep ?(flips_us = [ 96; 192; 384; 768; 1536 ])
-    ?(duration = Engine.Time.ms 6) ?(seed = 42) ?(jobs = 1) () =
-  Runner.Pool.map ~jobs
-    (fun (i, flip_us) ->
+   The sweep is exported as a flat {!Exp_common.job} grid of
+   [points x reps] cells plus one assembly barrier, so a multi-point
+   sweep saturates the worker pool instead of running as one
+   monolithic job. *)
+let point_seed ~seed i =
+  Engine.Rng.as_seed (Engine.Rng.derive (Engine.Rng.create seed) i)
+
+let cell_seed ~seed ~reps i r =
+  if reps = 1 then point_seed ~seed i
+  else
+    Engine.Rng.as_seed
+      (Engine.Rng.derive (Engine.Rng.derive (Engine.Rng.create seed) i) r)
+
+(* [points x reps] cell jobs filling [cells], then a barrier that
+   reduces each point's replications with [reduce] and emits the
+   rows.  Shared by both sweeps. *)
+let grid ~reps ~points ~cell ~reduce ~emit =
+  if reps < 1 then invalid_arg "Sweeps: reps must be >= 1";
+  let n = List.length points in
+  let cells = Array.make (max 1 (n * reps)) None in
+  let jobs =
+    List.concat
+      (List.mapi
+         (fun i p ->
+           List.init reps (fun r ->
+               Exp_common.job
+                 (fun () -> cell i r p)
+                 ~commit:(fun o -> cells.((i * reps) + r) <- Some o)))
+         points)
+  in
+  jobs
+  @ [ Exp_common.barrier
+        (fun () ->
+          emit
+            (List.mapi
+               (fun i p ->
+                 reduce p
+                   (List.init reps (fun r ->
+                        Option.get cells.((i * reps) + r))))
+               points)) ]
+
+let mean_over outs f =
+  List.fold_left (fun a o -> a +. f o) 0.0 outs
+  /. float_of_int (List.length outs)
+
+let fig5_sweep_jobs ?(flips_us = [ 96; 192; 384; 768; 1536 ]) ?(reps = 1)
+    ?(duration = Engine.Time.ms 6) ?(seed = 42) ~emit () =
+  grid ~reps ~points:flips_us
+    ~cell:(fun i r flip_us ->
       let config =
         { Fig5_multipath.default with
           Fig5_multipath.flip_interval = Engine.Time.us flip_us;
           duration;
-          seed = point_seed ~seed i }
+          seed = cell_seed ~seed ~reps i r }
       in
-      let o = Fig5_multipath.run ~config () in
-      { flip_us; dctcp_gbps = o.Fig5_multipath.dctcp_mean;
-        mtp_gbps = o.Fig5_multipath.mtp_mean;
-        ratio = o.Fig5_multipath.improvement })
-    (indexed flips_us)
+      Fig5_multipath.run ~config ())
+    ~reduce:(fun flip_us outs ->
+      { flip_us;
+        dctcp_gbps = mean_over outs (fun o -> o.Fig5_multipath.dctcp_mean);
+        mtp_gbps = mean_over outs (fun o -> o.Fig5_multipath.mtp_mean);
+        ratio = mean_over outs (fun o -> o.Fig5_multipath.improvement) })
+    ~emit
+
+let fig5_flip_sweep ?flips_us ?reps ?duration ?seed ?(jobs = 1) () =
+  let out = ref [] in
+  Exp_common.run_jobs ~jobs
+    (fig5_sweep_jobs ?flips_us ?reps ?duration ?seed
+       ~emit:(fun rows -> out := rows)
+       ());
+  !out
 
 type fig6_row = {
   load : float;
@@ -40,29 +100,52 @@ type fig6_row = {
   mtp_p99_us : float;
 }
 
-let fig6_load_sweep ?(loads = [ 0.3; 0.5; 0.7 ])
-    ?(duration = Engine.Time.ms 80) ?(seed = 42) ?(jobs = 1) () =
-  Runner.Pool.map ~jobs
-    (fun (i, load) ->
+let fig6_sweep_jobs ?(loads = [ 0.3; 0.5; 0.7 ]) ?(reps = 1)
+    ?(duration = Engine.Time.ms 80) ?(seed = 42) ~emit () =
+  grid ~reps ~points:loads
+    ~cell:(fun i r load ->
       let config =
         { Fig6_loadbalance.default with
           Fig6_loadbalance.load;
           duration;
           max_message = 8_000_000;
-          seed = point_seed ~seed i }
+          seed = cell_seed ~seed ~reps i r }
       in
-      let o = Fig6_loadbalance.run ~config () in
+      Fig6_loadbalance.run ~config ())
+    ~reduce:(fun load outs ->
+      let scheme sel pct =
+        mean_over outs (fun o -> pct (sel o))
+      in
       { load;
-        ecmp_p50_us = o.Fig6_loadbalance.ecmp.Fig6_loadbalance.fct_p50_us;
-        ecmp_p99_us = o.Fig6_loadbalance.ecmp.Fig6_loadbalance.fct_p99_us;
-        spray_p50_us = o.Fig6_loadbalance.spray.Fig6_loadbalance.fct_p50_us;
-        spray_p99_us = o.Fig6_loadbalance.spray.Fig6_loadbalance.fct_p99_us;
-        mtp_p50_us = o.Fig6_loadbalance.mtp.Fig6_loadbalance.fct_p50_us;
-        mtp_p99_us = o.Fig6_loadbalance.mtp.Fig6_loadbalance.fct_p99_us })
-    (indexed loads)
+        ecmp_p50_us =
+          scheme (fun o -> o.Fig6_loadbalance.ecmp)
+            (fun s -> s.Fig6_loadbalance.fct_p50_us);
+        ecmp_p99_us =
+          scheme (fun o -> o.Fig6_loadbalance.ecmp)
+            (fun s -> s.Fig6_loadbalance.fct_p99_us);
+        spray_p50_us =
+          scheme (fun o -> o.Fig6_loadbalance.spray)
+            (fun s -> s.Fig6_loadbalance.fct_p50_us);
+        spray_p99_us =
+          scheme (fun o -> o.Fig6_loadbalance.spray)
+            (fun s -> s.Fig6_loadbalance.fct_p99_us);
+        mtp_p50_us =
+          scheme (fun o -> o.Fig6_loadbalance.mtp)
+            (fun s -> s.Fig6_loadbalance.fct_p50_us);
+        mtp_p99_us =
+          scheme (fun o -> o.Fig6_loadbalance.mtp)
+            (fun s -> s.Fig6_loadbalance.fct_p99_us) })
+    ~emit
 
-let fig5_result ?flips_us ?duration ?seed ?jobs () =
-  let rows = fig5_flip_sweep ?flips_us ?duration ?seed ?jobs () in
+let fig6_load_sweep ?loads ?reps ?duration ?seed ?(jobs = 1) () =
+  let out = ref [] in
+  Exp_common.run_jobs ~jobs
+    (fig6_sweep_jobs ?loads ?reps ?duration ?seed
+       ~emit:(fun rows -> out := rows)
+       ());
+  !out
+
+let fig5_rows_result ?(reps = 1) rows =
   let table =
     Stats.Table.create
       ~columns:
@@ -78,15 +161,21 @@ let fig5_result ?flips_us ?duration ?seed ?jobs () =
     ~title:"Sweep: Fig 5 vs path-alternation frequency"
     ~table
     ~notes:
-      [ Printf.sprintf
-          "MTP's advantage is %.2fx at %dus flips and %.2fx at %dus — \
-           per-pathlet state matters most when paths change faster than a \
-           single window can re-converge"
-          fastest.ratio fastest.flip_us slowest.ratio slowest.flip_us ]
+      (Printf.sprintf
+         "MTP's advantage is %.2fx at %dus flips and %.2fx at %dus — \
+          per-pathlet state matters most when paths change faster than a \
+          single window can re-converge"
+         fastest.ratio fastest.flip_us slowest.ratio slowest.flip_us
+      ::
+      (if reps > 1 then
+         [ Printf.sprintf
+             "each point is the mean of %d seed replications (SplitMix64 \
+              split per point)"
+             reps ]
+       else []))
     ()
 
-let fig6_result ?loads ?duration ?seed ?jobs () =
-  let rows = fig6_load_sweep ?loads ?duration ?seed ?jobs () in
+let fig6_rows_result ?(reps = 1) rows =
   let table =
     Stats.Table.create
       ~columns:
@@ -103,7 +192,32 @@ let fig6_result ?loads ?duration ?seed ?jobs () =
     ~title:"Sweep: Fig 6 FCT vs offered load"
     ~table
     ~notes:
-      [ "MTP's SRPT-style sender keeps the median far ahead at every load; \
-         at high load its p99 (the largest ~1% of messages) pays the \
-         classic SRPT price while spraying degrades across the board" ]
+      ("MTP's SRPT-style sender keeps the median far ahead at every load; \
+        at high load its p99 (the largest ~1% of messages) pays the \
+        classic SRPT price while spraying degrades across the board"
+      ::
+      (if reps > 1 then
+         [ Printf.sprintf
+             "each point is the mean of %d seed replications (SplitMix64 \
+              split per point)"
+             reps ]
+       else []))
     ()
+
+let fig5_result_jobs ?flips_us ?reps ?duration ?seed ~emit () =
+  fig5_sweep_jobs ?flips_us ?reps ?duration ?seed
+    ~emit:(fun rows -> emit (fig5_rows_result ?reps rows))
+    ()
+
+let fig6_result_jobs ?loads ?reps ?duration ?seed ~emit () =
+  fig6_sweep_jobs ?loads ?reps ?duration ?seed
+    ~emit:(fun rows -> emit (fig6_rows_result ?reps rows))
+    ()
+
+let fig5_result ?flips_us ?reps ?duration ?seed ?(jobs = 1) () =
+  let rows = fig5_flip_sweep ?flips_us ?reps ?duration ?seed ~jobs () in
+  fig5_rows_result ?reps rows
+
+let fig6_result ?loads ?reps ?duration ?seed ?(jobs = 1) () =
+  let rows = fig6_load_sweep ?loads ?reps ?duration ?seed ~jobs () in
+  fig6_rows_result ?reps rows

@@ -11,11 +11,20 @@
       ECMP/spraying widens with offered load, spraying degrading
       fastest (reordering costs scale with queueing).
 
-    Every sweep point is a closed job on the parallel runner: [jobs]
-    (default 1) sets the worker-domain count, the point seeds are a
-    SplitMix64 split of [seed] by point index ([Engine.Rng.derive]),
-    and the rows come back in point order — byte-identical output for
-    any [jobs]. *)
+    Every sweep cell (point [i], replication [r]) is a closed job on
+    the parallel runner.  Cell seeds are SplitMix64 stream splits of
+    [seed] ({!Engine.Rng.derive}): with [reps = 1] (the default) the
+    cell seed is [derive base i] — the historical per-point seed, so
+    output is byte-identical to single-replication releases — and
+    with [reps > 1] cell [(i, r)] uses [derive (derive base i) r] and
+    each row reports the per-point mean across replications.
+
+    The [_jobs] variants expose the sweep as a flat {!Exp_common.job}
+    grid ([points x reps] cells plus one assembly barrier) for
+    submission into a larger shared pool (the [all] command); the
+    plain variants run the same grid on a private pool of [jobs]
+    workers.  Rows always come back in point order — byte-identical
+    output for any [jobs]. *)
 
 type fig5_row = {
   flip_us : int;
@@ -25,8 +34,14 @@ type fig5_row = {
 }
 
 val fig5_flip_sweep :
-  ?flips_us:int list -> ?duration:Engine.Time.t -> ?seed:int -> ?jobs:int ->
-  unit -> fig5_row list
+  ?flips_us:int list -> ?reps:int -> ?duration:Engine.Time.t -> ?seed:int ->
+  ?jobs:int -> unit -> fig5_row list
+
+val fig5_sweep_jobs :
+  ?flips_us:int list -> ?reps:int -> ?duration:Engine.Time.t -> ?seed:int ->
+  emit:(fig5_row list -> unit) -> unit -> Exp_common.job list
+(** The sweep as a flat job grid; [emit] receives the reduced rows
+    from the trailing assembly barrier. *)
 
 type fig6_row = {
   load : float;
@@ -39,13 +54,27 @@ type fig6_row = {
 }
 
 val fig6_load_sweep :
-  ?loads:float list -> ?duration:Engine.Time.t -> ?seed:int -> ?jobs:int ->
-  unit -> fig6_row list
+  ?loads:float list -> ?reps:int -> ?duration:Engine.Time.t -> ?seed:int ->
+  ?jobs:int -> unit -> fig6_row list
+
+val fig6_sweep_jobs :
+  ?loads:float list -> ?reps:int -> ?duration:Engine.Time.t -> ?seed:int ->
+  emit:(fig6_row list -> unit) -> unit -> Exp_common.job list
 
 val fig5_result :
-  ?flips_us:int list -> ?duration:Engine.Time.t -> ?seed:int -> ?jobs:int ->
-  unit -> Exp_common.result
+  ?flips_us:int list -> ?reps:int -> ?duration:Engine.Time.t -> ?seed:int ->
+  ?jobs:int -> unit -> Exp_common.result
 
 val fig6_result :
-  ?loads:float list -> ?duration:Engine.Time.t -> ?seed:int -> ?jobs:int ->
-  unit -> Exp_common.result
+  ?loads:float list -> ?reps:int -> ?duration:Engine.Time.t -> ?seed:int ->
+  ?jobs:int -> unit -> Exp_common.result
+
+val fig5_result_jobs :
+  ?flips_us:int list -> ?reps:int -> ?duration:Engine.Time.t -> ?seed:int ->
+  emit:(Exp_common.result -> unit) -> unit -> Exp_common.job list
+(** {!fig5_result} as a job grid for a shared pool; [emit] receives
+    the assembled result. *)
+
+val fig6_result_jobs :
+  ?loads:float list -> ?reps:int -> ?duration:Engine.Time.t -> ?seed:int ->
+  emit:(Exp_common.result -> unit) -> unit -> Exp_common.job list

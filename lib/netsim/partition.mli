@@ -1,0 +1,101 @@
+(** Domain partitioning over {!Topology} for conservative parallel
+    simulation of {e one} scenario.
+
+    A partitioned world is N single-threaded worlds (private [Sim],
+    {!Topology} with a disjoint address range, devices) stitched by
+    {e conduits} — cross-partition unidirectional edges whose qdisc
+    and serialization live in the source partition and whose
+    propagation delay is paid across the epoch barrier.  Driven by
+    [Runner.Epoch.run] with lookahead = the minimum conduit delay,
+    the result is byte-identical for any [jobs] value; see DESIGN.md
+    "Conservative parallel DES" for the argument.
+
+    Telemetry note: worker domains never emit telemetry
+    ([Telemetry.Ctx] guards are main-domain only), so export files
+    from a [jobs > 1] run cover only main-domain activity — the CLI
+    already refuses [--trace]/[--metrics] with [--jobs > 1]. *)
+
+type t
+
+val create : ?seed:int -> ?addr_stride:int -> nparts:int -> unit -> t
+(** [nparts] worlds with per-partition [Sim] seeds derived from
+    [seed] (default 42) via [Engine.Rng.derive], and host addresses
+    allocated from [p * addr_stride] (default [65536]) so ranges never
+    collide. *)
+
+val nparts : t -> int
+
+val sim : t -> int -> Engine.Sim.t
+(** Partition [p]'s simulator. *)
+
+val topo : t -> int -> Topology.t
+(** Partition [p]'s topology (use its builders for intra-partition
+    devices and wiring). *)
+
+val cross_link :
+  t ->
+  src:int ->
+  dst:int ->
+  name:string ->
+  rate:Engine.Time.rate ->
+  delay:Engine.Time.t ->
+  ?qdisc:Qdisc.t ->
+  deliver:(Packet.t -> unit) ->
+  unit ->
+  Link.t
+(** A unidirectional edge from partition [src] to partition [dst]:
+    the returned link (create it into a switch port or host uplink as
+    usual) serializes in [src] with zero propagation; each delivered
+    packet is parked with arrival stamp [now + delay] and handed to
+    [deliver] in [dst]'s sim at the next epoch barrier.  [delay] must
+    be positive — it bounds the epoch lookahead.  Ownership of the
+    packet moves to [dst]; the source side keeps no reference. *)
+
+val lookahead : t -> Engine.Time.t
+(** Minimum conduit delay — the epoch window length.
+    @raise Invalid_argument if the world has no conduit. *)
+
+val exchange : t -> unit
+(** Drain all conduit FIFOs into their destination sims, in canonical
+    order (arrival time, then conduit creation order, then emission
+    order).  Called between epochs on the main domain;
+    [run] does this automatically. *)
+
+val run : ?jobs:int -> until:Engine.Time.t -> t -> unit
+(** Drive the whole world to [until] with [Runner.Epoch.run]:
+    lookahead-sized windows, [jobs] workers, canonical exchange at
+    every barrier.  [jobs = 1] (default) is the sequential reference
+    — byte-identical state to any other [jobs] value. *)
+
+(** {1 Partitioned prebuilt networks} *)
+
+type leaf_spine = {
+  pls_world : t;
+  pls_hosts : Node.t array array;  (** [pls_hosts.(leaf).(i)]; same addresses as [Topology.leaf_spine]. *)
+  pls_leaves : Switch.t array;
+  pls_spines : Switch.t array;
+  pls_spine_part : int array;  (** Owning partition of each spine ([s mod leaves]). *)
+  pls_links : Link.t array;
+      (** Canonical link order: per leaf, host up/down pairs; then the
+          fabric mesh in (leaf, spine) order, up then down. *)
+  pls_link_part : int array;  (** Owning partition of each link in {!pls_links}. *)
+}
+
+val leaf_spine :
+  ?seed:int ->
+  leaves:int ->
+  spines:int ->
+  hosts_per_leaf:int ->
+  host_rate:Engine.Time.rate ->
+  fabric_rate:Engine.Time.rate ->
+  delay:Engine.Time.t ->
+  ?uplink_qdisc:(unit -> Qdisc.t) ->
+  unit ->
+  leaf_spine
+(** The two-tier Clos of [Topology.leaf_spine], partitioned one leaf
+    (hosts + leaf switch) per partition with spines dealt round-robin.
+    Same rates, routing (per-spine ECMP entries at leaves, static at
+    spines), host addresses and per-path latency as the single-sim
+    builder; every fabric direction that crosses partitions is a
+    conduit with the full [delay], so the lookahead equals [delay].
+    Requires [leaves >= 2]. *)

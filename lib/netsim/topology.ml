@@ -4,7 +4,8 @@ type t = {
   mutable all_hosts : Node.t list; (* reverse creation order *)
 }
 
-let create sim = { sim; next_addr = 0; all_hosts = [] }
+let create ?(first_addr = 0) sim =
+  { sim; next_addr = first_addr; all_hosts = [] }
 
 let sim t = t.sim
 

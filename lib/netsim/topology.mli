@@ -3,7 +3,11 @@
 
 type t
 
-val create : Engine.Sim.t -> t
+val create : ?first_addr:int -> Engine.Sim.t -> t
+(** [first_addr] (default 0) starts host address allocation higher —
+    partitioned builds ({!Partition}) give each partition's topology a
+    disjoint address range so a split world reproduces the same
+    addresses as its single-sim counterpart. *)
 
 val sim : t -> Engine.Sim.t
 

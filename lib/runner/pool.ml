@@ -17,13 +17,15 @@
    Each result lands in a dedicated slot of a pre-sized array, so
    slots are written by exactly one domain and published to the main
    domain by [Domain.join]'s happens-before edge.  Exceptions are
-   captured per job and re-raised after the pool drains — the one
-   from the smallest key, so failures are as reproducible as
-   results. *)
+   captured per job — together with their raw backtrace, taken at the
+   catch site — and re-raised after the pool drains with
+   [Printexc.raise_with_backtrace], so the trace points at the
+   crashing job, not at the drain loop.  The one from the smallest
+   key wins, so failures are as reproducible as results. *)
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-type 'a outcome = Value of 'a | Raised of exn
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
 
 let run ?jobs jobs_list =
   let arr = Array.of_list jobs_list in
@@ -36,7 +38,14 @@ let run ?jobs jobs_list =
   let slots = Array.make n None in
   let execute i =
     let key, work = arr.(i) in
-    let outcome = try Value (work ()) with e -> Raised e in
+    let outcome =
+      (* The backtrace is captured at the catch site, on the worker
+         domain, and re-raised on the main domain after the drain —
+         a bare [raise] there would report the drain loop instead of
+         the crashing job. *)
+      try Value (work ())
+      with e -> Raised (e, Printexc.get_raw_backtrace ())
+    in
     slots.(i) <- Some (key, outcome)
   in
   if workers = 1 then
@@ -84,10 +93,10 @@ let run ?jobs jobs_list =
   in
   (match
      List.find_map
-       (function _, _, Raised e -> Some e | _, _, Value _ -> None)
+       (function _, _, Raised (e, bt) -> Some (e, bt) | _, _, Value _ -> None)
        sorted
    with
-  | Some e -> raise e
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ());
   List.map
     (fun (key, _, outcome) ->

@@ -17,7 +17,9 @@ val run : ?jobs:int -> (int * (unit -> 'a)) list -> (int * 'a) list
     and returns [(key, result)] pairs sorted by [key] (ties by
     submission order).  If any job raises, the exception of the
     smallest failing key is re-raised after the pool drains — same
-    failure whatever the schedule.  Raises [Invalid_argument] when
+    failure whatever the schedule — with the original backtrace
+    preserved ([Printexc.raise_with_backtrace] on the trace captured
+    where the job crashed).  Raises [Invalid_argument] when
     [jobs < 1]. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -245,6 +245,38 @@ let test_corpus_replays_clean () =
       | Check.Fuzz.Fail msg -> Alcotest.failf "%s: %s" path msg)
     files
 
+(* ------------------------ domain-mode scenarios -------------------- *)
+
+let test_domains_jobs_invariant () =
+  (* The partitioned scenario build must render byte-identical digests
+     at jobs {1, 2, 4} on every leaf-spine spec of a generated batch —
+     the determinism contract of the conservative epoch runner, on
+     real fuzz workloads (mixed transports, faults, samplers). *)
+  let rng = Engine.Rng.create 99 in
+  let tested = ref 0 in
+  let i = ref 0 in
+  while !tested < 4 && !i < 100 do
+    incr i;
+    let spec = Check.Spec.generate (Engine.Rng.derive rng !i) in
+    if Check.Scenario.domains_applicable spec then begin
+      incr tested;
+      let at jobs =
+        match Check.Scenario.run_domains ~jobs spec with
+        | Ok digest -> digest
+        | Error msg -> Alcotest.failf "spec %d jobs=%d: %s" !i jobs msg
+      in
+      let d1 = at 1 in
+      Alcotest.(check string)
+        (Printf.sprintf "spec %d: digest jobs 1 vs 2" !i)
+        d1 (at 2);
+      Alcotest.(check string)
+        (Printf.sprintf "spec %d: digest jobs 1 vs 4" !i)
+        d1 (at 4);
+      checkb "digest is non-trivial" true (String.length d1 > 100)
+    end
+  done;
+  checki "found leaf-spine specs to test" 4 !tested
+
 (* --------------------------- campaign smoke ------------------------ *)
 
 let test_campaign_smoke () =
@@ -266,4 +298,6 @@ let suite =
       test_mutation_caught_and_shrunk;
     Alcotest.test_case "corpus replays clean" `Quick
       test_corpus_replays_clean;
+    Alcotest.test_case "domains jobs-invariant" `Slow
+      test_domains_jobs_invariant;
     Alcotest.test_case "campaign smoke" `Quick test_campaign_smoke ]

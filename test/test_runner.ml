@@ -3,13 +3,17 @@
 
    Unit: results merge in key order whatever the worker count,
    exceptions surface deterministically, edge shapes (empty list, more
-   workers than work) hold.
+   workers than work) hold; a qcheck property pins Pool.run to the
+   serial List.map reference over arbitrary job lists, including
+   raising jobs.  The epoch driver (Runner.Epoch) gets the same
+   treatment on synthetic partitions: exact window sequences,
+   argument validation, smallest-partition-index failures.
 
    End-to-end (the jobs-invariance tests): the fig5/fig6 sweeps, the
-   failover experiment and multi-seed replication must produce
-   byte-identical printed output — and identical CSV exports — at
-   [~jobs:1] and [~jobs:4].  These run the real exhibits at reduced
-   scale on real domains. *)
+   failover experiment, multi-seed replication and the partitioned
+   single-scenario exhibit (Par_leafspine) must produce byte-identical
+   printed output/digests at [~jobs:1] and wider.  These run the real
+   exhibits at reduced scale on real domains. *)
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -130,6 +134,195 @@ let test_replicate_invariant () =
   Alcotest.(check int)
     "second derived seed" 4427880381756340272 (List.nth seeds 1)
 
+let test_sweep_reps () =
+  (* Replicated sweep: jobs-invariant rows, one row per point (the
+     mean over reps), and reps < 1 rejected before any cell runs. *)
+  let go jobs =
+    Experiments.Sweeps.fig5_flip_sweep ~flips_us:[ 192 ] ~reps:2
+      ~duration:(Engine.Time.ms 1) ~jobs ()
+  in
+  let a = go 1 and b = go 2 in
+  checkb "reps=2 rows identical at jobs 1 and 2" true (a = b);
+  checki "one row per point" 1 (List.length a);
+  checkb "reps=0 rejected" true
+    (match Experiments.Sweeps.fig5_flip_sweep ~reps:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --------------------- qcheck: pool vs serial ---------------------- *)
+
+exception Qboom of int
+
+(* The pool IS List.map with a merge: for an arbitrary job list
+   (arbitrary keys, some jobs raising), every jobs width must produce
+   the serial reference — the stable key-sort of the serially computed
+   results — and when any job raises, the exception of the smallest
+   failing key (earliest submission on ties) must surface. *)
+let prop_pool_matches_serial =
+  QCheck.Test.make ~name:"Pool.run matches serial reference (incl. raises)"
+    ~count:150
+    QCheck.(
+      list_of_size Gen.(1 -- 20)
+        (pair (int_range 0 9) (pair small_int bool)))
+    (fun spec ->
+      let jobs_list =
+        List.mapi
+          (fun i (key, (v, raises)) ->
+            ( key,
+              fun () -> if raises then raise (Qboom i) else (i, v) ))
+          spec
+      in
+      let raising =
+        List.mapi (fun i (k, (_, r)) -> if r then Some (k, i) else None) spec
+        |> List.filter_map Fun.id
+      in
+      let expect_exn =
+        match List.sort compare raising with
+        | [] -> None
+        | (_, i) :: _ -> Some i
+      in
+      let reference =
+        List.mapi (fun i (key, (v, _)) -> (key, (i, v))) spec
+        |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+      in
+      List.for_all
+        (fun jobs ->
+          match Runner.Pool.run ~jobs jobs_list with
+          | got -> expect_exn = None && got = reference
+          | exception Qboom i -> expect_exn = Some i)
+        [ 1; 2; 3; 4 ])
+
+(* ----------------------------- job grids --------------------------- *)
+
+let test_run_jobs_order () =
+  (* Heterogeneous grid: commits fire on main in submission order
+     after all works complete, so a trailing barrier sees every slot
+     filled — at any width. *)
+  let go jobs =
+    let slots = Array.make 4 0 in
+    let log = ref [] in
+    let jobs_list =
+      List.init 4 (fun i ->
+          Experiments.Exp_common.job
+            (fun () -> (i + 1) * 10)
+            ~commit:(fun v ->
+              slots.(i) <- v;
+              log := i :: !log))
+      @ [ Experiments.Exp_common.barrier
+            (fun () -> log := Array.fold_left ( + ) 0 slots :: !log) ]
+    in
+    Experiments.Exp_common.run_jobs ~jobs jobs_list;
+    List.rev !log
+  in
+  Alcotest.(check (list int))
+    "commit order + barrier sum, jobs=1" [ 0; 1; 2; 3; 100 ] (go 1);
+  Alcotest.(check (list int))
+    "commit order + barrier sum, jobs=4" [ 0; 1; 2; 3; 100 ] (go 4)
+
+(* ------------------------------ epoch ------------------------------ *)
+
+(* Synthetic partitions: a mutable list of event times plus a log of
+   every (advance/finish) call.  Lets the tests pin the exact window
+   sequence the driver computes — idle-skip to the earliest pending
+   event, lookahead-wide advances, one final inclusive finish. *)
+type sim_stub = {
+  mutable events : int list;  (* ascending *)
+  mutable calls : (char * int) list;  (* reversed: ('a', limit) / ('f', u) *)
+}
+
+let stub events = { events; calls = [] }
+
+let part_of_stub ?(boom = false) st =
+  { Runner.Epoch.advance =
+      (fun limit ->
+        if boom then failwith "boom";
+        st.events <- List.filter (fun t -> t >= limit) st.events;
+        st.calls <- ('a', limit) :: st.calls);
+    finish =
+      (fun u ->
+        st.events <- List.filter (fun t -> t > u) st.events;
+        st.calls <- ('f', u) :: st.calls);
+    next_time = (fun () -> match st.events with [] -> None | t :: _ -> Some t)
+  }
+
+let test_epoch_window_sequence () =
+  let run jobs =
+    let a = stub [ 5; 100 ] and b = stub [ 30 ] in
+    Runner.Epoch.run ~jobs ~lookahead:10 ~until:120
+      ~exchange:(fun () -> ())
+      [| part_of_stub a; part_of_stub b |];
+    (List.rev a.calls, List.rev b.calls)
+  in
+  (* Windows: skip to t=5 -> advance 15; skip to 30 -> advance 40;
+     skip to 100 -> advance 110; heaps empty -> one jump-to-until
+     advance round, then the inclusive finish at 120. *)
+  let expect =
+    [ ('a', 15); ('a', 40); ('a', 110); ('a', 120); ('f', 120) ]
+  in
+  let a1, b1 = run 1 in
+  Alcotest.(check (list (pair char int))) "part a windows, jobs=1" expect a1;
+  Alcotest.(check (list (pair char int))) "part b windows, jobs=1" expect b1;
+  let a2, b2 = run 2 in
+  Alcotest.(check (list (pair char int)))
+    "part a windows identical at jobs=2" a1 a2;
+  Alcotest.(check (list (pair char int)))
+    "part b windows identical at jobs=2" b1 b2
+
+let test_epoch_validation () =
+  let part = part_of_stub (stub []) in
+  let invalid f =
+    match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  checkb "lookahead 0 rejected" true
+    (invalid (fun () ->
+         Runner.Epoch.run ~lookahead:0 ~until:10 ~exchange:ignore [| part |]));
+  checkb "negative until rejected" true
+    (invalid (fun () ->
+         Runner.Epoch.run ~lookahead:5 ~until:(-1) ~exchange:ignore [| part |]));
+  checkb "jobs 0 rejected" true
+    (invalid (fun () ->
+         Runner.Epoch.run ~jobs:0 ~lookahead:5 ~until:10 ~exchange:ignore
+           [| part |]))
+
+let test_epoch_exception_deterministic () =
+  (* Parts 1 and 2 raise in the same window; whatever the schedule,
+     part 1 (smallest index) is the failure that surfaces, and the
+     workers are all joined (subsequent runs stay healthy). *)
+  for jobs = 1 to 4 do
+    match
+      Runner.Epoch.run ~jobs ~lookahead:10 ~until:50 ~exchange:ignore
+        [| part_of_stub (stub [ 0 ]);
+           part_of_stub ~boom:true (stub [ 0 ]);
+           part_of_stub ~boom:true (stub [ 0 ]) |]
+    with
+    | () -> Alcotest.fail "expected failure"
+    | exception Failure m ->
+      Alcotest.(check string) "smallest failing partition wins" "boom" m
+  done
+
+(* -------------------- partitioned single scenario ------------------ *)
+
+let test_par_leafspine_jobs_invariant () =
+  let config =
+    { Experiments.Par_leafspine.default with
+      Experiments.Par_leafspine.leaves = 3;
+      spines = 2;
+      hosts_per_leaf = 2;
+      duration = Engine.Time.us 400 }
+  in
+  let out jobs = Experiments.Par_leafspine.run ~jobs config in
+  let o1 = out 1 and o2 = out 2 and o4 = out 4 in
+  Alcotest.(check string)
+    "digest byte-identical, jobs 1 vs 2"
+    o1.Experiments.Par_leafspine.digest o2.Experiments.Par_leafspine.digest;
+  Alcotest.(check string)
+    "digest byte-identical, jobs 1 vs 4"
+    o1.Experiments.Par_leafspine.digest o4.Experiments.Par_leafspine.digest;
+  checkb "simulation made progress" true
+    (o1.Experiments.Par_leafspine.events > 0)
+
 let suite =
   [ Alcotest.test_case "map order" `Quick test_map_order;
     Alcotest.test_case "run key order" `Quick test_run_key_order;
@@ -143,4 +336,14 @@ let suite =
     Alcotest.test_case "failover jobs-invariant" `Slow
       test_failover_invariant;
     Alcotest.test_case "replicate jobs-invariant" `Quick
-      test_replicate_invariant ]
+      test_replicate_invariant;
+    Alcotest.test_case "sweep replications" `Slow test_sweep_reps;
+    QCheck_alcotest.to_alcotest prop_pool_matches_serial;
+    Alcotest.test_case "job grid commit order" `Quick test_run_jobs_order;
+    Alcotest.test_case "epoch window sequence" `Quick
+      test_epoch_window_sequence;
+    Alcotest.test_case "epoch validation" `Quick test_epoch_validation;
+    Alcotest.test_case "epoch deterministic exceptions" `Quick
+      test_epoch_exception_deterministic;
+    Alcotest.test_case "par-leafspine jobs-invariant" `Slow
+      test_par_leafspine_jobs_invariant ]
