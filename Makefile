@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-datapath bench-parallel lint check telemetry-check fuzz-smoke exhibits extensions sweeps examples clean
+.PHONY: all build test bench bench-datapath bench-parallel lint lint-typed check telemetry-check fuzz-smoke exhibits extensions sweeps examples clean
 
 all: build
 
@@ -40,6 +40,15 @@ bench-parallel:
 lint:
 	dune exec bin/simlint.exe -- --root . lib bin bench
 
+# Typed tier on top of the AST rules: loads the .cmt files of the
+# build just made and runs the interprocedural domain-safety and
+# hot-path rules (P101/P102/H102) as well.  Requires `dune build`
+# first (`dune exec` below guarantees it for the lint binary, the
+# explicit build covers the analyzed libraries).
+lint-typed:
+	dune build @all
+	dune exec bin/simlint.exe -- --root . --typed lib bin bench
+
 # Verification harness smoke: replay the checked-in crash corpus, then
 # run a seeded fuzz campaign (oracles + differential pairings on every
 # case) under a wall-clock cap.  Any oracle violation or digest
@@ -58,6 +67,7 @@ fuzz-smoke:
 check:
 	dune build @all
 	$(MAKE) lint
+	$(MAKE) lint-typed
 	dune runtest --force
 	$(MAKE) fuzz-smoke
 	rm -f BENCH_engine.json

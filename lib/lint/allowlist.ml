@@ -13,6 +13,15 @@ type t = entry list
 
 let empty = []
 
+let entries t = t
+let entry_rule e = e.e_rule
+let entry_file e = e.e_file
+
+let entry_to_string e =
+  match e.e_line with
+  | None -> Printf.sprintf "%s %s" e.e_rule e.e_file
+  | Some l -> Printf.sprintf "%s %s:%d" e.e_rule e.e_file l
+
 let strip_comment line =
   match String.index_opt line '#' with
   | Some i -> String.sub line 0 i
@@ -55,10 +64,34 @@ let load path =
   close_in ic;
   parse_string src
 
-let suppressed t (f : Finding.t) =
-  List.exists
-    (fun e ->
-      e.e_rule = f.Finding.rule
-      && e.e_file = f.Finding.file
-      && match e.e_line with None -> true | Some l -> l = f.Finding.line)
-    t
+let matches e (f : Finding.t) =
+  e.e_rule = f.Finding.rule
+  && e.e_file = f.Finding.file
+  && match e.e_line with None -> true | Some l -> l = f.Finding.line
+
+let suppressed t (f : Finding.t) = List.exists (fun e -> matches e f) t
+
+(* Partition [findings] into (kept, entries that suppressed nothing).
+   The unused list is what the driver's staleness check reports — an
+   entry that matches no finding of this run is a rotting suppression
+   (the offending code moved or was fixed) and must be pruned. *)
+let apply t findings =
+  let used = Array.make (List.length t) false in
+  let kept =
+    List.filter
+      (fun f ->
+        let hit = ref false in
+        List.iteri
+          (fun i e ->
+            if matches e f then begin
+              used.(i) <- true;
+              hit := true
+            end)
+          t;
+        not !hit)
+      findings
+  in
+  let unused =
+    List.filteri (fun i _ -> not used.(i)) t
+  in
+  (kept, unused)

@@ -1,0 +1,86 @@
+(* [.cmt] discovery for the typed tier.  dune drops one cmt per
+   compilation unit under
+   [_build/default/<dir>/.<lib>.objs/byte/<lib>__<Module>.cmt]
+   (executables use [.<exe>.eobjs/byte/dune__exe__<Module>.cmt]), each
+   recording the compiler-relative source path ("lib/runner/pool.ml")
+   and the mangled module name ("Runner__Pool").  The loader walks
+   [_build/default], keeps implementation cmts whose recorded source
+   lies under one of the requested dirs, and canonicalizes the module
+   name by splitting dune's "__" mangling (the [Dune.Exe] prefix of
+   executables is dropped — nothing cross-references an executable's
+   modules, but its own spawn sites must still be walked).
+
+   Wrapper/alias units (netsim.ml-gen and friends) have generated
+   sources and carry no code of their own; filtering on a real ".ml"
+   suffix drops them.  A cmt that fails to read (version skew, partial
+   build) is an error: the typed tier must not silently analyze less
+   than the build. *)
+
+let rec walk dir acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc name ->
+        let path = Filename.concat dir name in
+        if Sys.is_directory path then
+          (* Skip ppx/merlin droppings but keep dune's dot-dirs: the
+             .objs directories are exactly where the cmts live. *)
+          if name = ".ppx" || name = ".merlin-conf" then acc
+          else walk path acc
+        else if Filename.check_suffix name ".cmt" then path :: acc
+        else acc)
+      acc entries
+
+let canonical_unit modname =
+  match Callgraph.normalize [ modname ] with
+  | "Dune" :: "exe" :: rest | "dune" :: "exe" :: rest -> rest
+  | comps -> comps
+
+let load ~root ~dirs =
+  let build = Filename.concat root (Filename.concat "_build" "default") in
+  if not (Sys.file_exists build) then
+    Error
+      (Printf.sprintf
+         "%s not found; run `dune build` before `simlint --typed` (the typed \
+          tier reads the build's .cmt files)"
+         build)
+  else begin
+    let cmts = List.sort String.compare (walk build []) in
+    let seen_sources = Hashtbl.create 64 in
+    let units = ref [] in
+    let errors = ref [] in
+    List.iter
+      (fun path ->
+        match Cmt_format.read_cmt path with
+        | exception exn ->
+          errors :=
+            Printf.sprintf "%s: unreadable cmt (%s)" path
+              (Printexc.to_string exn)
+            :: !errors
+        | cmt -> (
+          match (cmt.Cmt_format.cmt_sourcefile, cmt.Cmt_format.cmt_annots) with
+          | Some src, Cmt_format.Implementation str
+            when Filename.check_suffix src ".ml"
+                 && Config.in_dirs src dirs
+                 && not (Hashtbl.mem seen_sources src) ->
+            Hashtbl.add seen_sources src ();
+            units :=
+              (src, canonical_unit cmt.Cmt_format.cmt_modname, str) :: !units
+          | _ -> ()))
+      cmts;
+    match !errors with
+    | e :: _ -> Error e
+    | [] ->
+      if !units = [] then
+        Error
+          (Printf.sprintf
+             "no .cmt files under %s cover %s; run `dune build` first" build
+             (String.concat " " dirs))
+      else
+        Ok
+          (List.sort
+             (fun (a, _, _) (b, _, _) -> String.compare a b)
+             !units)
+  end

@@ -1,0 +1,10 @@
+(** Discover and read the [.cmt] files dune produced under
+    [root/_build/default] for sources in [dirs]. *)
+
+val load :
+  root:string ->
+  dirs:string list ->
+  ((string * string list * Typedtree.structure) list, string) result
+(** [(source_file, canonical_unit_path, typedtree)] per compilation
+    unit, sorted by source file; [Error] when the build is missing or
+    a cmt is unreadable. *)

@@ -1,3 +1,12 @@
+(* A worker-domain entry point: any function value referenced inside
+   an argument of a call whose head matches [s_path] (consecutive
+   component match, so both [Domain.spawn] and [Stdlib.Domain.spawn]
+   hit) starts running on a worker domain.  Labelled arguments in
+   [s_main_labels] are explicitly main-domain (Epoch's [~exchange]
+   runs between windows on main, Exp_common's [~commit] after the
+   drain). *)
+type spawn = { s_path : string list; s_main_labels : string list }
+
 type t = {
   hot_modules : string list;
   hot_exempt_dirs : string list;
@@ -6,6 +15,11 @@ type t = {
   t201_exempt_dirs : string list;
   rng_modules : string list;
   mli_dirs : string list;
+  (* Typed tier (simlint --typed). *)
+  spawn_spec : spawn list;
+  guard_path : string list;
+  offmain_forbidden : string list list;
+  mutable_creators : string list list;
 }
 
 (* The hot set mirrors the datapath bench: modules on the per-event /
@@ -26,7 +40,37 @@ let default =
     t201_dirs = [ "lib"; "bin" ];
     t201_exempt_dirs = [ "lib/telemetry" ];
     rng_modules = [ "rng" ];
-    mli_dirs = [ "lib" ] }
+    mli_dirs = [ "lib" ];
+    spawn_spec =
+      [ { s_path = [ "Domain"; "spawn" ]; s_main_labels = [] };
+        { s_path = [ "Pool"; "run" ]; s_main_labels = [] };
+        { s_path = [ "Pool"; "map" ]; s_main_labels = [] };
+        { s_path = [ "Epoch"; "run" ]; s_main_labels = [ "exchange" ] };
+        { s_path = [ "Exp_common"; "job" ]; s_main_labels = [ "commit" ] };
+        { s_path = [ "Exp_common"; "replicate" ]; s_main_labels = [] } ];
+    guard_path = [ "Ctx"; "on" ];
+    (* Commit-side surfaces that must stay off worker domains: the
+       telemetry singleton's mutators and exporters, and Exp_common's
+       main-domain result sinks. *)
+    offmain_forbidden =
+      [ [ "Telemetry"; "Registry" ];
+        [ "Telemetry"; "Export" ];
+        [ "Telemetry"; "Events"; "emit" ];
+        [ "Telemetry"; "Ctx"; "enable" ];
+        [ "Telemetry"; "Ctx"; "disable" ];
+        [ "Telemetry"; "Ctx"; "reset" ];
+        [ "Telemetry"; "Ctx"; "mark_run" ];
+        [ "Exp_common"; "print" ];
+        [ "Exp_common"; "write_csv" ] ];
+    (* Allocators of non-atomic shared-mutable cells for P101.  Atomic,
+       Mutex and Condition are deliberately absent (they are the
+       sanctioned synchronization vocabulary), as are arrays: the
+       single-writer-slot array published by Domain.join is the pool's
+       audited idiom, and the issue-listed containers are the ones that
+       corrupt on unsynchronized concurrent use. *)
+    mutable_creators =
+      [ [ "ref" ]; [ "Hashtbl"; "create" ]; [ "Buffer"; "create" ];
+        [ "Queue"; "create" ]; [ "Stack"; "create" ] ] }
 
 let basename_no_ext file =
   let b = Filename.basename file in
@@ -53,33 +97,60 @@ let t201_applies t file =
 
 let mli_required t file = in_dirs file t.mli_dirs
 
-type rule_doc = { id : string; summary : string }
+type rule_doc = { id : string; summary : string; typed : bool }
 
 let rules =
   [ { id = "D001";
+      typed = false;
       summary =
         "Hashtbl.iter/fold iterate in hash order; in behavior-affecting \
          modules collect-and-sort (then pragma the fold) or iterate keyed" };
     { id = "D002";
+      typed = false;
       summary =
         "wall clock (Sys.time, Unix.gettimeofday/time), ambient randomness \
          (Random.* outside Engine.Rng, Random.self_init anywhere) and \
          Domain.self ()-dependent branching break seeded, \
          scheduling-independent replay" };
     { id = "D003";
+      typed = false;
       summary =
         "float equality (=, <>, ==, !=) against a float literal is \
          representation-fragile; compare with an ordering or pragma an \
          intentional exact sentinel" };
     { id = "H101";
+      typed = false;
       summary =
         "allocation hazard in a hot-path module (Printf.*, @ / \
          List.append, ^ string concat, closure-capturing Fun \
          combinators) outside an error-raise argument" };
     { id = "T201";
+      typed = false;
       summary =
         "Telemetry.Events.emit / Telemetry.Registry.* call outside an \
          [if Telemetry.Ctx.on () then ...] guard branch" };
-    { id = "M001"; summary = "every lib/ module must ship an .mli" } ]
+    { id = "M001";
+      typed = false;
+      summary = "every lib/ module must ship an .mli" };
+    { id = "P101";
+      typed = true;
+      summary =
+        "[typed] non-Atomic mutable state (ref, mutable record, \
+         Hashtbl/Buffer/Queue/Stack) captured by a Domain.spawn / \
+         Runner.Pool / Runner.Epoch worker entry, or module-scope \
+         mutable state read or written by worker-reachable code" };
+    { id = "P102";
+      typed = true;
+      summary =
+        "[typed] main-domain-only API (Telemetry Registry/Export/emit, \
+         Ctx mutators, Exp_common commit side) reachable from a worker \
+         entry point outside an [if Telemetry.Ctx.on () then] branch" };
+    { id = "H102";
+      typed = true;
+      summary =
+        "[typed] function outside the hot set that allocates (H101 \
+         hazard) and is transitively reachable from hot-path code \
+         outside guard branches and raise arguments" } ]
 
 let known_rule id = List.exists (fun r -> r.id = id) rules
+let typed_rule id = List.exists (fun r -> r.id = id && r.typed) rules

@@ -2,6 +2,16 @@
     separators; module membership is by file basename so renames of
     parent directories keep the policy. *)
 
+type spawn = {
+  s_path : string list;
+      (** consecutive-component match on a canonical dotted path, e.g.
+          [["Pool"; "run"]] matches [Runner.Pool.run] *)
+  s_main_labels : string list;
+      (** labelled arguments of the matched call that stay on the main
+          domain ([~exchange], [~commit]) *)
+}
+(** A call whose arguments become worker-domain entry points. *)
+
 type t = {
   hot_modules : string list;  (** basenames (no extension) under H101 *)
   hot_exempt_dirs : string list;
@@ -13,13 +23,25 @@ type t = {
       (** the telemetry subsystem itself implements the guard *)
   rng_modules : string list;  (** basenames allowed to touch [Random] *)
   mli_dirs : string list;     (** scope of M001 *)
+  spawn_spec : spawn list;    (** worker entry points (typed tier) *)
+  guard_path : string list;
+      (** consecutive-component pattern of the telemetry guard
+          ([["Ctx"; "on"]]); branches under it are main-domain-only *)
+  offmain_forbidden : string list list;
+      (** P102: consecutive-component patterns of main-domain-only
+          APIs *)
+  mutable_creators : string list list;
+      (** P101: consecutive-component patterns of non-atomic mutable
+          cell allocators *)
 }
 
 val default : t
 (** The repo policy: hot set [eventqueue sim link qdisc switch wire
     pktring packet node datapath] (with [bench] exempt), D001/T201
     over [lib] and [bin], [lib/telemetry] exempt from T201, [rng] may
-    use [Random], [.mli] required under [lib]. *)
+    use [Random], [.mli] required under [lib]; typed tier rooted at
+    [Domain.spawn] / [Runner.Pool] / [Runner.Epoch] / [Exp_common]
+    job thunks, telemetry commit side forbidden off-main. *)
 
 val basename_no_ext : string -> string
 val in_dirs : string -> string list -> bool
@@ -30,9 +52,13 @@ val d001_applies : t -> string -> bool
 val t201_applies : t -> string -> bool
 val mli_required : t -> string -> bool
 
-type rule_doc = { id : string; summary : string }
+type rule_doc = { id : string; summary : string; typed : bool }
 
 val rules : rule_doc list
 (** Every rule simlint knows, for [--list-rules]. *)
 
 val known_rule : string -> bool
+
+val typed_rule : string -> bool
+(** Rules that only run under [--typed] (needed to decide which
+    allowlist entries can be judged stale by a given run). *)

@@ -62,13 +62,34 @@ let missing_mli ~config files =
       else None)
     files
 
-let run ?(config = Config.default) ?(allowlist = Allowlist.empty) ~root ~dirs
-    () =
+let run ?(config = Config.default) ?(allowlist = Allowlist.empty)
+    ?(typed = false) ?(rule_enabled = fun _ -> true) ~root ~dirs () =
   match scan_files ~root ~dirs with
   | exception Failure msg -> Error msg
   | files ->
     let ast_findings = ref [] in
     let errors = ref [] in
+    (* Pragmas per source file.  Filled during the AST pass and on
+       demand for typed findings, whose source set comes from the
+       build's cmts rather than the walk. *)
+    let pragma_cache = Hashtbl.create 64 in
+    let pragmas_for file =
+      match Hashtbl.find_opt pragma_cache file with
+      | Some p -> p
+      | None ->
+        let abs = Filename.concat root file in
+        let p =
+          if Sys.file_exists abs then Pragma.scan (read_file abs)
+          else Pragma.scan ""
+        in
+        Hashtbl.replace pragma_cache file p;
+        p
+    in
+    let unsuppressed (f : Finding.t) =
+      not
+        (Pragma.suppressed (pragmas_for f.Finding.file) ~line:f.Finding.line
+           ~rule:f.Finding.rule)
+    in
     List.iter
       (fun file ->
         if Filename.check_suffix file ".ml" then begin
@@ -80,50 +101,103 @@ let run ?(config = Config.default) ?(allowlist = Allowlist.empty) ~root ~dirs
                 (Printexc.to_string exn)
               :: !errors
           | structure ->
-            let pragmas = Pragma.scan src in
+            Hashtbl.replace pragma_cache file (Pragma.scan src);
             let fs =
               Rules.check_structure ~config ~file structure
-              |> List.filter (fun (f : Finding.t) ->
-                     not
-                       (Pragma.suppressed pragmas ~line:f.Finding.line
-                          ~rule:f.Finding.rule))
+              |> List.filter unsuppressed
             in
             ast_findings := List.rev_append fs !ast_findings
         end)
       files;
-    (match !errors with
-    | e :: _ -> Error e
-    | [] ->
-      let all = missing_mli ~config files @ !ast_findings in
-      let kept =
-        List.filter (fun f -> not (Allowlist.suppressed allowlist f)) all
+    let typed_findings =
+      match !errors with
+      | _ :: _ -> Ok []
+      | [] ->
+        if not typed then Ok []
+        else
+          let audited file line =
+            Pragma.suppressed (pragmas_for file) ~line ~rule:"P101"
+          in
+          Result.map
+            (fun units ->
+              Typed.check ~config ~audited units |> List.filter unsuppressed)
+            (Cmt_loader.load ~root ~dirs)
+    in
+    (match (!errors, typed_findings) with
+    | e :: _, _ -> Error e
+    | [], Error e -> Error e
+    | [], Ok typed_findings ->
+      let all =
+        missing_mli ~config files @ !ast_findings @ typed_findings
+        |> List.filter (fun (f : Finding.t) -> rule_enabled f.Finding.rule)
       in
-      Ok (List.sort Finding.compare kept))
+      let kept, unused = Allowlist.apply allowlist all in
+      (* An unused entry is only *stale* when this run could have
+         matched it: its rule ran (enabled, and typed rules need
+         [--typed]) and its file lies under the scanned dirs. *)
+      let stale =
+        List.filter
+          (fun e ->
+            let rule = Allowlist.entry_rule e in
+            rule_enabled rule
+            && (typed || not (Config.typed_rule rule))
+            && Config.in_dirs (Allowlist.entry_file e) dirs)
+          unused
+      in
+      Ok (List.sort Finding.compare kept, stale))
 
 let list_rules () =
   List.iter
-    (fun (r : Config.rule_doc) -> Printf.printf "%s  %s\n" r.id r.summary)
+    (fun (r : Config.rule_doc) ->
+      Printf.printf "%s%s  %s\n" r.id
+        (if r.typed then " (typed)" else "        ")
+        r.summary)
     Config.rules
 
 let usage =
-  "usage: simlint [--root DIR] [--allowlist FILE] [--list-rules] [DIR ...]\n\
+  "usage: simlint [--root DIR] [--typed] [--format human|json]\n\
+  \               [--only RULES] [--disable RULES] [--allowlist FILE]\n\
+  \               [--list-rules] [DIR ...]\n\
    Scans DIR ... (default: lib bin bench) under --root (default: .) and\n\
-   reports policy violations as file:line: [RULE] message.  Exits 0 when\n\
-   clean, 1 on findings, 2 on usage or parse errors.  Suppress a single\n\
-   site with (* simlint: allow RULE — reason *) on the offending or the\n\
+   reports policy violations as file:line: [RULE] message (--format json:\n\
+   one {\"rule\",\"file\",\"line\",\"msg\"} object per line).  --typed \
+   additionally\n\
+   loads the .cmt files under ROOT/_build/default (run `dune build` first)\n\
+   and runs the interprocedural rules P101/P102/H102.  RULES are\n\
+   comma-separated rule ids.  Exits 0 when clean, 1 on findings or stale\n\
+   allowlist entries, 2 on usage or parse errors.  Suppress a single site\n\
+   with (* simlint: allow RULE — reason *) on the offending or the\n\
    preceding line; suppress file-wide in the --allowlist file (default:\n\
    ROOT/simlint.allow when present, format: RULE path[:line])."
+
+let split_rules what v k =
+  let rules =
+    String.split_on_char ',' v |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match List.find_opt (fun r -> not (Config.known_rule r)) rules with
+  | Some r ->
+    Printf.eprintf "simlint: %s: unknown rule %s\n" what r;
+    Error 2
+  | None -> if rules = [] then Error 2 else Ok (k rules)
 
 let main ?config argv =
   let root = ref "." in
   let allowlist_file = ref None in
   let dirs = ref [] in
   let list_only = ref false in
+  let typed = ref false in
+  let json = ref false in
+  let only = ref None in
+  let disabled = ref [] in
   let bad = ref None in
   let rec parse = function
     | [] -> ()
     | "--list-rules" :: rest ->
       list_only := true;
+      parse rest
+    | "--typed" :: rest ->
+      typed := true;
       parse rest
     | "--root" :: v :: rest ->
       root := v;
@@ -131,6 +205,25 @@ let main ?config argv =
     | "--allowlist" :: v :: rest ->
       allowlist_file := Some v;
       parse rest
+    | "--format" :: v :: rest -> (
+      match v with
+      | "human" ->
+        json := false;
+        parse rest
+      | "json" ->
+        json := true;
+        parse rest
+      | _ ->
+        Printf.eprintf "simlint: --format must be human or json\n";
+        bad := Some 2)
+    | "--only" :: v :: rest -> (
+      match split_rules "--only" v (fun rs -> only := Some rs) with
+      | Ok () -> parse rest
+      | Error code -> bad := Some code)
+    | "--disable" :: v :: rest -> (
+      match split_rules "--disable" v (fun rs -> disabled := rs @ !disabled) with
+      | Ok () -> parse rest
+      | Error code -> bad := Some code)
     | ("--help" | "-h") :: _ ->
       print_endline usage;
       bad := Some 0
@@ -156,6 +249,10 @@ let main ?config argv =
       let dirs =
         match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds
       in
+      let rule_enabled r =
+        (match !only with Some rs -> List.mem r rs | None -> true)
+        && not (List.mem r !disabled)
+      in
       let allowlist =
         let explicit = !allowlist_file in
         let default_path = Filename.concat !root "simlint.allow" in
@@ -173,13 +270,30 @@ let main ?config argv =
         Printf.eprintf "simlint: %s\n" e;
         2
       | Ok allowlist -> (
-        match run ?config ~allowlist ~root:!root ~dirs () with
+        match
+          run ?config ~allowlist ~typed:!typed ~rule_enabled ~root:!root ~dirs
+            ()
+        with
         | Error e ->
           Printf.eprintf "simlint: %s\n" e;
           2
-        | Ok [] -> 0
-        | Ok findings ->
-          List.iter (fun f -> print_endline (Finding.to_string f)) findings;
-          Printf.printf "simlint: %d finding(s)\n" (List.length findings);
-          1)
+        | Ok (findings, stale) ->
+          List.iter
+            (fun f ->
+              print_endline
+                (if !json then Finding.to_json f else Finding.to_string f))
+            findings;
+          List.iter
+            (fun e ->
+              Printf.eprintf
+                "simlint: stale allowlist entry: %s (matched no finding; \
+                 remove it from simlint.allow)\n"
+                (Allowlist.entry_to_string e))
+            stale;
+          let n = List.length findings in
+          if n > 0 then
+            (* Summary on stderr so --format json stdout stays pure. *)
+            (if !json then Printf.eprintf else Printf.printf)
+              "simlint: %d finding(s)\n" n;
+          if n = 0 && stale = [] then 0 else 1)
     end

@@ -8,14 +8,20 @@ val scan_files : root:string -> dirs:string list -> string list
 val run :
   ?config:Config.t ->
   ?allowlist:Allowlist.t ->
+  ?typed:bool ->
+  ?rule_enabled:(string -> bool) ->
   root:string ->
   dirs:string list ->
   unit ->
-  (Finding.t list, string) result
-(** Parse every [.ml], apply rules, drop pragma- and
-    allowlist-suppressed findings, add M001, sort.  [Error] carries a
-    parse failure or missing directory. *)
+  (Finding.t list * Allowlist.entry list, string) result
+(** Parse every [.ml], apply the AST rules (plus the typed tier over
+    the build's cmts when [typed]), drop pragma- and
+    allowlist-suppressed findings, add M001, sort.  Returns the kept
+    findings and the *stale* allowlist entries: entries that matched
+    nothing even though their rule ran over their file's directory.
+    [Error] carries a parse failure, a cmt-loading failure, or a
+    missing directory. *)
 
 val main : ?config:Config.t -> string array -> int
 (** The simlint CLI: returns the process exit code (0 clean,
-    1 findings, 2 usage/parse error). *)
+    1 findings or stale allowlist entries, 2 usage/parse error). *)

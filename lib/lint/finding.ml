@@ -13,3 +13,24 @@ let compare a b =
   | c -> c
 
 let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One finding per line ([--format json]): a flat object so CI can
+   turn each line into a GitHub annotation with a one-liner. *)
+let to_json f =
+  Printf.sprintf "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"msg\":\"%s\"}"
+    (json_escape f.rule) (json_escape f.file) f.line (json_escape f.msg)

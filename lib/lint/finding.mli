@@ -9,3 +9,7 @@ val compare : t -> t -> int
 
 val to_string : t -> string
 (** Renders as [file:line: [RULE] message]. *)
+
+val to_json : t -> string
+(** Renders as a single-line JSON object
+    [{"rule":...,"file":...,"line":...,"msg":...}]. *)

@@ -1,0 +1,4 @@
+(** H102: allocation hazards in functions transitively reachable from
+    hot-module code.  See DESIGN.md "simlint v2". *)
+
+val check : config:Config.t -> Callgraph.t -> Finding.t list

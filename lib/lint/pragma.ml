@@ -7,7 +7,13 @@
    line or on its own line just above.  The reason text is free-form
    but expected; a pragma with no reason still parses (the reviewer,
    not the tool, enforces taste).  Scanning is textual because the
-   OCaml parser discards comments. *)
+   OCaml parser discards comments.
+
+   One line may carry several pragmas — e.g.
+   [(* simlint: allow D001 — a *) (* simlint: allow D002 — b *)] —
+   and each names its own rule; a line missing its trailing newline
+   (end of file) scans like any other line.  Both behaviors are
+   pinned by fixtures. *)
 
 type t = (int * string) list (* (line, rule) pairs, 1-based *)
 
@@ -16,23 +22,27 @@ let marker = "simlint: allow"
 let is_rule_char c =
   (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
 
-(* First rule token after [marker] in [line], if any. *)
-let rule_after line =
+(* Every rule token following an occurrence of [marker] in [line]. *)
+let rules_in line =
   let mlen = String.length marker in
   let llen = String.length line in
-  let rec find i =
-    if i + mlen > llen then None
-    else if String.sub line i mlen = marker then Some (i + mlen)
-    else find (i + 1)
-  in
-  match find 0 with
-  | None -> None
-  | Some start ->
+  let token_at start =
     let i = ref start in
     while !i < llen && line.[!i] = ' ' do incr i done;
     let j = ref !i in
     while !j < llen && is_rule_char line.[!j] do incr j done;
     if !j > !i then Some (String.sub line !i (!j - !i)) else None
+  in
+  let rec find i acc =
+    if i + mlen > llen then List.rev acc
+    else if String.sub line i mlen = marker then
+      let acc =
+        match token_at (i + mlen) with Some r -> r :: acc | None -> acc
+      in
+      find (i + mlen) acc
+    else find (i + 1) acc
+  in
+  find 0 []
 
 let scan src =
   let out = ref [] in
@@ -40,9 +50,7 @@ let scan src =
   let start = ref 0 in
   let flush stop =
     let text = String.sub src !start (stop - !start) in
-    (match rule_after text with
-    | Some rule -> out := (!line, rule) :: !out
-    | None -> ());
+    List.iter (fun rule -> out := (!line, rule) :: !out) (rules_in text);
     start := stop + 1;
     incr line
   in

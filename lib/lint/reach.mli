@@ -1,0 +1,11 @@
+(** BFS closure over the call graph. *)
+
+val reachable :
+  (string, Callgraph.node) Hashtbl.t ->
+  roots:string list ->
+  follow:(Callgraph.vref -> bool) ->
+  (string, string) Hashtbl.t
+(** [reachable nodes ~roots ~follow] maps every node reachable from
+    [roots] (through references accepted by [follow]) to a witness
+    root.  Roots not present in [nodes] are ignored; the result is
+    deterministic (sorted roots, BFS). *)

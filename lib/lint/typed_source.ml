@@ -1,0 +1,90 @@
+(* In-process typing for the typed tier's tests.  Fixtures are not
+   part of the dune build (they are data, not code), so no .cmt exists
+   for them; and the P101 mutation test needs to analyze a *modified*
+   copy of lib/runner/pool.ml, which by construction can never have a
+   checked-in cmt.  Both get the same answer: parse and type the
+   source right here with the compiler the lint already links
+   against, then hand the typedtree to the same [Typed.check] the cmt
+   path uses — so tests exercise the production analysis, not a
+   parallel one.
+
+   Units are typed in order; each typed unit is injected into the
+   environment as a module named by the last component of its unit
+   name, so a later unit can reference an earlier one
+   ([Helper.join ...]) and cross-unit reachability is testable from
+   plain strings.  Only stdlib and earlier units are visible —
+   exactly the closed world a fixture should live in. *)
+
+type unit_src = { u_name : string; u_file : string; u_src : string }
+
+let initialized = ref false
+
+let init () =
+  if not !initialized then begin
+    initialized := true;
+    Clflags.dont_write_files := true;
+    Compmisc.init_path ()
+  end
+
+let describe_exn exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+  | _ -> Printexc.to_string exn
+
+let type_units units =
+  init ();
+  let env0 = Compmisc.initial_env () in
+  let rec go env acc = function
+    | [] -> Ok (List.rev acc)
+    | u :: rest -> (
+      let comps = String.split_on_char '.' u.u_name in
+      match
+        let lexbuf = Lexing.from_string u.u_src in
+        Lexing.set_filename lexbuf u.u_file;
+        let pstr = Parse.implementation lexbuf in
+        Typemod.type_structure env pstr
+      with
+      | exception exn ->
+        Error (Printf.sprintf "%s: %s" u.u_file (describe_exn exn))
+      | tstr, sg, _names, _shape, _env ->
+        let alias =
+          match List.rev comps with last :: _ -> last | [] -> u.u_name
+        in
+        let id = Ident.create_persistent alias in
+        let md =
+          Types.
+            { md_type = Mty_signature sg;
+              md_attributes = [];
+              md_loc = Location.none;
+              md_uid = Uid.internal_not_actually_unique }
+        in
+        let env = Env.add_module_declaration ~check:false id Mp_present md env in
+        go env ((u.u_file, comps, tstr) :: acc) rest)
+  in
+  go env0 [] units
+
+(* Type, analyze, and apply each unit's own inline pragmas — the same
+   suppression semantics the driver gives real sources, so analyzing
+   the actual lib/runner/pool.ml text honors its audited-pattern
+   pragmas while a mutated copy still trips P101. *)
+let analyze ~config units =
+  match type_units units with
+  | Error _ as e -> e
+  | Ok typed ->
+    let pragmas = Hashtbl.create 8 in
+    List.iter (fun u -> Hashtbl.replace pragmas u.u_file (Pragma.scan u.u_src)) units;
+    let audited file line =
+      match Hashtbl.find_opt pragmas file with
+      | Some p -> Pragma.suppressed p ~line ~rule:"P101"
+      | None -> false
+    in
+    let findings =
+      Typed.check ~config ~audited typed
+      |> List.filter (fun (f : Finding.t) ->
+             match Hashtbl.find_opt pragmas f.Finding.file with
+             | Some p ->
+               not
+                 (Pragma.suppressed p ~line:f.Finding.line ~rule:f.Finding.rule)
+             | None -> true)
+    in
+    Ok findings

@@ -37,6 +37,7 @@ let set_ecn_ce p = p.flags <- p.flags lor flag_ecn_ce
 let set_trimmed p = p.flags <- p.flags lor flag_trimmed
 
 let none =
+  (* simlint: allow P101 — write-free sentinel: [release] refuses it and every other use is a physical-equality test or a pool-slot filler, so nothing mutates it after module init *)
   { uid = -1; src = -1; dst = -1; size = 0; flags = 0;
     entity = 0; prio = 0; flow_hash = 0; created_at = 0; payload = Raw }
 

