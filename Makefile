@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-datapath bench-parallel lint lint-typed check telemetry-check fuzz-smoke exhibits extensions sweeps examples clean
+.PHONY: all build test bench bench-datapath bench-scale bench-parallel lint lint-typed check telemetry-check fuzz-smoke exhibits extensions sweeps examples clean
 
 all: build
 
@@ -20,6 +20,15 @@ bench:
 # packets/s, or on batching being slower than classic anywhere.
 bench-datapath:
 	dune exec bench/datapath.exe -- --guardrail
+
+# Fabric-scale guardrails: minor words/event across 64 -> 4096 host
+# fabrics (two-tier Clos, k=16 fat-tree, three-tier Clos) must stay
+# flat (within 1.15x of the 64-host value), the dense routing lookup
+# must allocate zero minor words over 2M calls, and the batched
+# datapath must not be slower than classic at 64 hosts.  Appends the
+# "scale" section to BENCH_engine.json (run bench-datapath first).
+bench-scale:
+	dune exec bench/scale.exe -- --guardrail
 
 # Scaling bench: the fixed fig5 sweep at jobs {1,2,4,8} plus the
 # partitioned single-scenario exhibit at jobs 1 vs 2.  Writes
@@ -59,6 +68,7 @@ fuzz-smoke:
 
 # CI gate: full build, the test suite, a quick datapath bench that
 # must produce the allocation/throughput guardrail report, the
+# fabric-scale sweep with its words-stay-flat guardrail, the
 # parallel-runner scaling bench with its not-slower guardrail, a
 # shortened failover run exercising fault injection end to end, a
 # parallel `all --smoke` pass regenerating every exhibit on two
@@ -72,6 +82,7 @@ check:
 	$(MAKE) fuzz-smoke
 	rm -f BENCH_engine.json
 	$(MAKE) bench-datapath
+	$(MAKE) bench-scale
 	test -f BENCH_engine.json
 	$(MAKE) bench-parallel
 	test -f BENCH_parallel.json

@@ -352,6 +352,50 @@ let messaging_cmd =
          "Drive TCP, DCTCP, UDP, proxied TCP and MTP through the unified           transport interface on identical workloads")
     Term.(const run $ output_opts $ seed $ duration_ms 10 $ size $ parallel)
 
+(* ------------------------------ incast ----------------------------- *)
+
+let incast_cmd =
+  let run opts seed duration k fanout resp_kb =
+    if k < 2 || k mod 2 <> 0 then begin
+      Format.eprintf "mtp_sim incast: --k must be even and >= 2@.";
+      Stdlib.exit 2
+    end;
+    let nhosts = k * k * k / 4 in
+    if fanout < 1 || fanout > nhosts - 1 then begin
+      Format.eprintf
+        "mtp_sim incast: --fanout must be in 1..%d for k=%d@." (nhosts - 1) k;
+      Stdlib.exit 2
+    end;
+    let config =
+      { Ext_incast.k;
+        fanout;
+        resp_bytes = resp_kb * 1000;
+        duration = Engine.Time.ms duration;
+        seed }
+    in
+    print_result opts (Ext_incast.result ~config ())
+  in
+  let k =
+    Arg.(value & opt int 8
+         & info [ "k" ] ~doc:"Fat-tree arity (even); k^3/4 hosts.")
+  in
+  let fanout =
+    Arg.(value & opt int 48
+         & info [ "fanout" ] ~doc:"Responders answering the aggregator.")
+  in
+  let resp_kb =
+    Arg.(value & opt int 50
+         & info [ "resp-kb" ] ~doc:"Response size per responder (KB).")
+  in
+  Cmd.v
+    (Cmd.info "incast"
+       ~doc:
+         "Incast/RPC fan-out on a k-ary fat-tree: every responder answers \
+          at t=0 and TCP, DCTCP and MTP race to collect the fan-in \
+          (tail FCT and collect time)")
+    Term.(const run $ output_opts $ seed $ duration_ms 50 $ k $ fanout
+          $ resp_kb)
+
 (* ----------------------------- failover ---------------------------- *)
 
 let failover_cmd =
@@ -522,6 +566,10 @@ let all_cmd =
       @ Ext_failover.result_jobs ?config:failover_config ~emit:print ()
       @ Sweeps.fig5_result_jobs ?duration:sweep5_duration ~emit:print ()
       @ Sweeps.fig6_result_jobs ?duration:sweep6_duration ~emit:print ()
+      @ [ single (fun () ->
+              Ext_incast.result
+                ?config:(if smoke then Some Ext_incast.smoke else None)
+                ()) ]
     in
     Exp_common.run_jobs ~jobs:opts.jobs grid
   in
@@ -652,8 +700,8 @@ let () =
   let group =
     Cmd.group info
       [ fig2_cmd; fig3_cmd; fig5_cmd; fig6_cmd; fig7_cmd; table1_cmd;
-        features_cmd; extensions_cmd; messaging_cmd; failover_cmd;
-        sweeps_cmd; par_leafspine_cmd; all_cmd; fuzz_cmd ]
+        features_cmd; extensions_cmd; messaging_cmd; incast_cmd;
+        failover_cmd; sweeps_cmd; par_leafspine_cmd; all_cmd; fuzz_cmd ]
   in
   (* Graceful degradation: unknown subcommands/flags and malformed
      option values print cmdliner's usage/error text and exit 2 (the

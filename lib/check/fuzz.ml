@@ -146,6 +146,15 @@ let candidates (s : Spec.t) =
                    Spec.Leaf_spine { leaves = l; spines = sp; hosts = h } })
       in
       if shrunk = [] then [ { s with Spec.topo = Spec.Star 2 } ] else shrunk
+    | Spec.Fat_tree { k } ->
+      (* k=4 is the smallest proper fat-tree; below that fall back to
+         a leaf-spine with the same two-tier shape, then onward down
+         that chain. *)
+      if k > 4 then [ { s with Spec.topo = Spec.Fat_tree { k = k - 2 } } ]
+      else
+        [ { s with
+            Spec.topo = Spec.Leaf_spine { leaves = 2; spines = 2; hosts = 2 }
+          } ]
   in
   let sizes_halved =
     List.mapi

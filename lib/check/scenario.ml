@@ -98,6 +98,15 @@ let build_topology spec topo =
     in
     ( { srcs = all; dsts = all; all },
       Array.append ls.Topology.ls_leaves ls.Topology.ls_spines )
+  | Spec.Fat_tree { k } ->
+    let ft =
+      Topology.fat_tree topo ~k ~host_rate:rate ~fabric_rate:rate ~delay
+        ~uplink_qdisc:q ()
+    in
+    let all = ft.Topology.ft_hosts in
+    ( { srcs = all; dsts = all; all },
+      Array.concat
+        [ ft.Topology.ft_edges; ft.Topology.ft_aggs; ft.Topology.ft_cores ] )
 
 (* Every link in the scenario: host uplinks plus every switch egress
    port, deduplicated by identity (an uplink can be some switch's
@@ -343,44 +352,61 @@ let digest t =
 let domains_applicable (spec : Spec.t) =
   match spec.Spec.topo with
   | Spec.Leaf_spine { leaves; _ } -> leaves >= 2
+  | Spec.Fat_tree { k } -> k >= 2 && k mod 2 = 0
   | _ -> false
 
 let run_domains ?(jobs = 1) (spec : Spec.t) =
-  (match spec.Spec.topo with
-  | Spec.Leaf_spine { leaves; _ } when leaves >= 2 -> ()
-  | _ -> invalid_arg "Scenario.run_domains: spec is not domains_applicable");
-  let leaves, spines, hosts_per_leaf =
-    match spec.Spec.topo with
-    | Spec.Leaf_spine { leaves; spines; hosts } -> (leaves, spines, hosts)
-    | _ -> assert false
-  in
   let rate = Engine.Time.mbps spec.Spec.rate_mbps in
   let delay = Engine.Time.us spec.Spec.delay_us in
   let counter = ref 0 in
   let q = make_qdisc spec counter in
-  let pls =
-    Partition.leaf_spine ~seed:spec.Spec.seed ~leaves ~spines ~hosts_per_leaf
-      ~host_rate:rate ~fabric_rate:rate ~delay ~uplink_qdisc:q ()
+  (* Per-topology partitioned build: the world, hosts in address
+     order, hosts per partition (pod/leaf size), switches with their
+     owning partitions, and the canonical link array. *)
+  let world, all, hosts_per_part, switches, sw_part, links, link_part =
+    match spec.Spec.topo with
+    | Spec.Leaf_spine { leaves; spines; hosts } when leaves >= 2 ->
+      let pls =
+        Partition.leaf_spine ~seed:spec.Spec.seed ~leaves ~spines
+          ~hosts_per_leaf:hosts ~host_rate:rate ~fabric_rate:rate ~delay
+          ~uplink_qdisc:q ()
+      in
+      ( pls.Partition.pls_world,
+        Array.concat (Array.to_list pls.Partition.pls_hosts),
+        hosts,
+        Array.append pls.Partition.pls_leaves pls.Partition.pls_spines,
+        Array.append
+          (Array.init leaves (fun l -> l))
+          pls.Partition.pls_spine_part,
+        pls.Partition.pls_links,
+        pls.Partition.pls_link_part )
+    | Spec.Fat_tree { k } when k >= 2 && k mod 2 = 0 ->
+      let pft =
+        Partition.fat_tree ~seed:spec.Spec.seed ~k ~host_rate:rate
+          ~fabric_rate:rate ~delay ~uplink_qdisc:q ()
+      in
+      let half = k / 2 in
+      ( pft.Partition.pft_world,
+        pft.Partition.pft_hosts,
+        k * k / 4,
+        Array.concat
+          [ pft.Partition.pft_edges; pft.Partition.pft_aggs;
+            pft.Partition.pft_cores ],
+        Array.concat
+          [ Array.init (k * half) (fun e -> e / half);
+            Array.init (k * half) (fun a -> a / half);
+            pft.Partition.pft_core_part ],
+        pft.Partition.pft_links,
+        pft.Partition.pft_link_part )
+    | _ -> invalid_arg "Scenario.run_domains: spec is not domains_applicable"
   in
-  let world = pls.Partition.pls_world in
   let nparts = Partition.nparts world in
   let duration = Engine.Time.us spec.Spec.duration_us in
   let traces = Array.init nparts (fun _ -> Buffer.create 1024) in
   let tr p fmt =
     Printf.ksprintf (fun s -> Buffer.add_string traces.(p) (s ^ "\n")) fmt
   in
-  let all = Array.concat (Array.to_list pls.Partition.pls_hosts) in
-  let part_of_host i = i / hosts_per_leaf in
-  let switches =
-    Array.append pls.Partition.pls_leaves pls.Partition.pls_spines
-  in
-  let sw_part =
-    Array.append
-      (Array.init leaves (fun l -> l))
-      pls.Partition.pls_spine_part
-  in
-  let links = pls.Partition.pls_links in
-  let link_part = pls.Partition.pls_link_part in
+  let part_of_host i = i / hosts_per_part in
   let host_wraps = Array.map (fun n -> Host.create n) all in
   let endpoints = ref [] in
   let stacks =

@@ -38,7 +38,8 @@ val oracle_failures : t -> string list
 (** {1 Domain mode}
 
     The same scenario built on [Netsim.Partition] (one partition per
-    leaf) and driven by the conservative epoch runner.  Digests are
+    leaf, or per pod for fat-trees) and driven by the conservative
+    epoch runner.  Digests are
     canonical per-partition renderings: compare domain-mode runs
     against each other across [jobs] values — not against {!digest},
     whose global trace interleaving depends on single-heap tie
@@ -47,7 +48,7 @@ val oracle_failures : t -> string list
 
 val domains_applicable : Spec.t -> bool
 (** Whether {!run_domains} supports the spec's topology (leaf-spine
-    with at least two leaves). *)
+    with at least two leaves, or any valid fat-tree). *)
 
 val run_domains : ?jobs:int -> Spec.t -> (string, string) result
 (** Build the partitioned equivalent, run it to the horizon on [jobs]

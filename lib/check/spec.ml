@@ -12,6 +12,7 @@ type topo =
   | Dumbbell of int
   | Two_path
   | Leaf_spine of { leaves : int; spines : int; hosts : int }
+  | Fat_tree of { k : int }
 
 type qdisc_kind =
   | Q_fifo of int
@@ -49,6 +50,7 @@ let topo_to_string = function
   | Two_path -> "two_path"
   | Leaf_spine { leaves; spines; hosts } ->
     Printf.sprintf "leaf_spine %d %d %d" leaves spines hosts
+  | Fat_tree { k } -> Printf.sprintf "fat_tree %d" k
 
 let qdisc_to_string = function
   | Q_fifo cap -> Printf.sprintf "fifo %d" cap
@@ -110,6 +112,10 @@ let parse_topo = function
     let* spines = int_field "leaf_spine spines" s in
     let* hosts = int_field "leaf_spine hosts" h in
     Ok (Leaf_spine { leaves; spines; hosts })
+  | [ "fat_tree"; k ] ->
+    let* k = int_field "fat_tree k" k in
+    if k < 2 || k mod 2 <> 0 then parse_error "fat_tree k must be even >= 2"
+    else Ok (Fat_tree { k })
   | ws -> parse_error "bad topo: %S" (String.concat " " ws)
 
 let parse_qdisc = function
@@ -273,11 +279,12 @@ let generate rng =
   let module R = Engine.Rng in
   let seed = R.int rng 1_000_000 in
   let topo =
-    match R.int rng 8 with
+    match R.int rng 9 with
     | 0 | 1 -> Pair
     | 2 | 3 -> Star (2 + R.int rng 6)
     | 4 | 5 -> Dumbbell (1 + R.int rng 4)
     | 6 -> Two_path
+    | 7 -> Fat_tree { k = 4 + (2 * R.int rng 2) }
     | _ ->
       Leaf_spine
         { leaves = 2 + R.int rng 2;

@@ -14,6 +14,9 @@ type topo =
   | Two_path  (** One pair, two parallel paths. *)
   | Leaf_spine of { leaves : int; spines : int; hosts : int }
       (** Small two-tier Clos, [hosts] per leaf. *)
+  | Fat_tree of { k : int }
+      (** Small k-ary fat-tree ([k] even, [k³/4] hosts); generation
+          draws k ∈ {4, 6}. *)
 
 type qdisc_kind =
   | Q_fifo of int

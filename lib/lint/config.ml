@@ -31,7 +31,7 @@ type t = {
 let default =
   { hot_modules =
       [ "eventqueue"; "sim"; "link"; "qdisc"; "switch"; "wire"; "pktring";
-        "packet"; "node"; "datapath" ];
+        "packet"; "node"; "datapath"; "routing" ];
     (* bench/ holds measurement drivers (bench/datapath.ml shares a
        basename with the hot module it measures); their report printing
        is not datapath code. *)

@@ -261,3 +261,195 @@ let leaf_spine ?(seed = 42) ~leaves ~spines ~hosts_per_leaf ~host_rate
     pls_spine_part = spine_part;
     pls_links = Array.of_list (List.rev !links);
     pls_link_part = Array.of_list (List.rev !link_parts) }
+
+(* Partitioned k-ary fat-tree: pods are the natural partitions (hosts,
+   edge and agg switches of pod [p] live in partition [p]); cores are
+   dealt round-robin.  Same shape, names, addresses, interval routes
+   and ECMP salts as [Topology.fat_tree] (base address 0), so a split
+   world forwards identically to the single-sim build; intra-pod links
+   keep the full [delay] and every agg<->core direction that crosses
+   partitions is a conduit with that same [delay] (lookahead =
+   [delay]). *)
+
+type fat_tree = {
+  pft_world : t;
+  pft_k : int;
+  pft_hosts : Node.t array;
+  pft_edges : Switch.t array;
+  pft_aggs : Switch.t array;
+  pft_cores : Switch.t array;
+  pft_core_part : int array;
+  pft_links : Link.t array;
+  pft_link_part : int array;
+}
+
+let fat_tree ?(seed = 42) ~k ~host_rate ~fabric_rate ~delay ?uplink_qdisc ()
+    =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Partition.fat_tree: k must be even and >= 2";
+  if delay <= 0 then
+    invalid_arg "Partition.fat_tree: delay must be > 0 (conduit lookahead)";
+  let half = k / 2 in
+  let pods = k in
+  let hosts_per_pod = half * half in
+  let nhosts = pods * hosts_per_pod in
+  let top = nhosts - 1 in
+  let t = create ~seed ~addr_stride:hosts_per_pod ~nparts:pods () in
+  let nedges = pods * half and naggs = pods * half in
+  let ncores = half * half in
+  let core_part = Array.init ncores (fun c -> c mod pods) in
+  let edges =
+    Array.init nedges (fun i ->
+        Topology.switch (topo t (i / half))
+          (Printf.sprintf "edge%d_%d" (i / half) (i mod half)))
+  in
+  let aggs =
+    Array.init naggs (fun i ->
+        Topology.switch (topo t (i / half))
+          (Printf.sprintf "agg%d_%d" (i / half) (i mod half)))
+  in
+  let cores =
+    Array.init ncores (fun c ->
+        Topology.switch (topo t core_part.(c)) (Printf.sprintf "core%d" c))
+  in
+  let edge_routes =
+    Array.init nedges (fun i ->
+        Routing.create ~salt:(Topology.fabric_salt i) ())
+  in
+  let agg_routes =
+    Array.init naggs (fun i ->
+        Routing.create ~salt:(Topology.fabric_salt (nedges + i)) ())
+  in
+  let core_routes =
+    Array.init ncores (fun i ->
+        Routing.create ~salt:(Topology.fabric_salt (nedges + naggs + i)) ())
+  in
+  let hosts =
+    Array.init nhosts (fun i ->
+        let pod = i / hosts_per_pod in
+        let rem = i mod hosts_per_pod in
+        Topology.host (topo t pod)
+          (Printf.sprintf "h%d_%d_%d" pod (rem / half) (rem mod half)))
+  in
+  let links = ref [] in
+  let link_parts = ref [] in
+  let record part link =
+    links := link :: !links;
+    link_parts := part :: !link_parts
+  in
+  Array.iteri
+    (fun i h ->
+      let e = i / half in
+      let pod = e / half in
+      let port =
+        Topology.wire_host_to_switch (topo t pod) h edges.(e)
+          ~rate:host_rate ~delay ()
+      in
+      record pod (Node.uplink h);
+      record pod (Switch.port edges.(e) port);
+      Routing.add edge_routes.(e) (Node.addr h) port)
+    hosts;
+  (* Edge <-> agg mesh: wholly intra-pod. *)
+  for ei = 0 to nedges - 1 do
+    let pod = ei / half in
+    let my_lo = ei * half and my_hi = (ei * half) + half - 1 in
+    for a = 0 to half - 1 do
+      let ai = (pod * half) + a in
+      let qdisc =
+        match uplink_qdisc with Some f -> Some (f ()) | None -> None
+      in
+      let up =
+        Link.create (sim t pod)
+          ~name:(Printf.sprintf "%s->%s" (Switch.name edges.(ei))
+                   (Switch.name aggs.(ai)))
+          ~rate:fabric_rate ~delay ?qdisc ()
+      in
+      Link.set_dst up (Switch.receive aggs.(ai));
+      Link.set_dst_burst up (Switch.receive_burst aggs.(ai));
+      let up_port = Switch.add_port edges.(ei) up in
+      record pod up;
+      let down =
+        Link.create (sim t pod)
+          ~name:(Printf.sprintf "%s->%s" (Switch.name aggs.(ai))
+                   (Switch.name edges.(ei)))
+          ~rate:fabric_rate ~delay ()
+      in
+      Link.set_dst down (Switch.receive edges.(ei));
+      Link.set_dst_burst down (Switch.receive_burst edges.(ei));
+      let down_port = Switch.add_port aggs.(ai) down in
+      record pod down;
+      Routing.add_range agg_routes.(ai) ~lo:my_lo ~hi:my_hi down_port;
+      if my_lo > 0 then
+        Routing.add_range edge_routes.(ei) ~lo:0 ~hi:(my_lo - 1) up_port;
+      if my_hi < top then
+        Routing.add_range edge_routes.(ei) ~lo:(my_hi + 1) ~hi:top up_port
+    done
+  done;
+  (* Agg <-> core: a direction is a plain link when the core shares
+     the pod's partition, a conduit otherwise. *)
+  let fabric ~src_part ~dst_part ~name ?qdisc deliver_sw =
+    if src_part = dst_part then begin
+      let link =
+        Link.create (sim t src_part) ~name ~rate:fabric_rate ~delay ?qdisc ()
+      in
+      Link.set_dst link (Switch.receive deliver_sw);
+      Link.set_dst_burst link (Switch.receive_burst deliver_sw);
+      link
+    end
+    else
+      cross_link t ~src:src_part ~dst:dst_part ~name ~rate:fabric_rate ~delay
+        ?qdisc
+        ~deliver:(Switch.receive deliver_sw)
+        ()
+  in
+  for ai = 0 to naggs - 1 do
+    let pod = ai / half and a = ai mod half in
+    let pod_lo = pod * hosts_per_pod in
+    let pod_hi = ((pod + 1) * hosts_per_pod) - 1 in
+    for j = 0 to half - 1 do
+      let ci = (a * half) + j in
+      let cp = core_part.(ci) in
+      let qdisc =
+        match uplink_qdisc with Some f -> Some (f ()) | None -> None
+      in
+      let up =
+        fabric ~src_part:pod ~dst_part:cp
+          ~name:(Printf.sprintf "%s->%s" (Switch.name aggs.(ai))
+                   (Switch.name cores.(ci)))
+          ?qdisc cores.(ci)
+      in
+      let up_port = Switch.add_port aggs.(ai) up in
+      record pod up;
+      let down =
+        fabric ~src_part:cp ~dst_part:pod
+          ~name:(Printf.sprintf "%s->%s" (Switch.name cores.(ci))
+                   (Switch.name aggs.(ai)))
+          aggs.(ai)
+      in
+      let down_port = Switch.add_port cores.(ci) down in
+      record cp down;
+      Routing.add_range core_routes.(ci) ~lo:pod_lo ~hi:pod_hi down_port;
+      if pod_lo > 0 then
+        Routing.add_range agg_routes.(ai) ~lo:0 ~hi:(pod_lo - 1) up_port;
+      if pod_hi < top then
+        Routing.add_range agg_routes.(ai) ~lo:(pod_hi + 1) ~hi:top up_port
+    done
+  done;
+  Array.iteri
+    (fun i sw -> Switch.set_forward sw (Routing.ecmp edge_routes.(i)))
+    edges;
+  Array.iteri
+    (fun i sw -> Switch.set_forward sw (Routing.ecmp agg_routes.(i)))
+    aggs;
+  Array.iteri
+    (fun i sw -> Switch.set_forward sw (Routing.ecmp core_routes.(i)))
+    cores;
+  { pft_world = t;
+    pft_k = k;
+    pft_hosts = hosts;
+    pft_edges = edges;
+    pft_aggs = aggs;
+    pft_cores = cores;
+    pft_core_part = core_part;
+    pft_links = Array.of_list (List.rev !links);
+    pft_link_part = Array.of_list (List.rev !link_parts) }

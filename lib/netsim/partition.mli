@@ -99,3 +99,37 @@ val leaf_spine :
     builder; every fabric direction that crosses partitions is a
     conduit with the full [delay], so the lookahead equals [delay].
     Requires [leaves >= 2]. *)
+
+type fat_tree = {
+  pft_world : t;
+  pft_k : int;
+  pft_hosts : Node.t array;
+      (** In address order (host [i] has address [i]); same addresses
+          as [Topology.fat_tree] built at base 0. *)
+  pft_edges : Switch.t array;  (** [pod·k/2 + e], in partition [pod]. *)
+  pft_aggs : Switch.t array;  (** [pod·k/2 + a], in partition [pod]. *)
+  pft_cores : Switch.t array;
+  pft_core_part : int array;  (** Owning partition of each core ([c mod k]). *)
+  pft_links : Link.t array;
+      (** Canonical link order: host up/down pairs in address order;
+          then the edge↔agg mesh in (edge, agg) order, up then down;
+          then agg↔core in (agg, core) order, up then down. *)
+  pft_link_part : int array;  (** Owning partition of each link in {!pft_links}. *)
+}
+
+val fat_tree :
+  ?seed:int ->
+  k:int ->
+  host_rate:Engine.Time.rate ->
+  fabric_rate:Engine.Time.rate ->
+  delay:Engine.Time.t ->
+  ?uplink_qdisc:(unit -> Qdisc.t) ->
+  unit ->
+  fat_tree
+(** The k-ary fat-tree of [Topology.fat_tree], partitioned one pod
+    (hosts + edge + agg switches) per partition with cores dealt
+    round-robin.  Same shape, names, addresses, interval routes and
+    ECMP salts as the single-sim builder; every agg↔core direction
+    that crosses partitions is a conduit with the full [delay], so
+    the lookahead equals [delay].  Requires even [k >= 2] and a
+    positive [delay]. *)

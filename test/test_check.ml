@@ -184,6 +184,7 @@ let spec_weight (s : Check.Spec.t) =
     | Check.Spec.Dumbbell n -> 2 * n
     | Check.Spec.Leaf_spine { leaves; spines; hosts } ->
       (leaves * hosts) + leaves + spines
+    | Check.Spec.Fat_tree { k } -> (k * k * k / 4) + (5 * k * k / 4)
   in
   let bytes =
     List.fold_left (fun a f -> a + f.Check.Spec.f_size) 0 s.Check.Spec.flows
@@ -277,6 +278,43 @@ let test_domains_jobs_invariant () =
   done;
   checki "found leaf-spine specs to test" 4 !tested
 
+let test_fat_tree_domains_jobs_invariant () =
+  (* Pin the pod-partitioned fat-tree build directly (generation may
+     or may not draw one in the batch above): k=4, four partitions,
+     cross-pod flows through the conduit-realized agg<->core links. *)
+  let spec =
+    { Check.Spec.seed = 9041;
+      topo = Check.Spec.Fat_tree { k = 4 };
+      qdisc = Check.Spec.Q_ecn { cap = 64; thresh = 16 };
+      transport = Check.Spec.T_dctcp;
+      rate_mbps = 1000;
+      delay_us = 3;
+      duration_us = 1500;
+      flows =
+        List.map
+          (fun (src, dst, size, at) ->
+            { Check.Spec.f_src = src; f_dst = dst; f_size = size;
+              f_start_us = at })
+          [ (0, 9, 65536, 10); (5, 14, 65536, 20); (12, 3, 32768, 40);
+            (15, 0, 16384, 70) ];
+      faults = [] }
+  in
+  checkb "fat-tree is domains-applicable" true
+    (Check.Scenario.domains_applicable spec);
+  let at jobs =
+    match Check.Scenario.run_domains ~jobs spec with
+    | Ok digest -> digest
+    | Error msg -> Alcotest.failf "jobs=%d: %s" jobs msg
+  in
+  let d1 = at 1 in
+  Alcotest.(check string) "digest jobs 1 vs 2" d1 (at 2);
+  Alcotest.(check string) "digest jobs 1 vs 4" d1 (at 4);
+  checkb "digest shows deliveries" true
+    (String.length d1 > 100
+    && String.split_on_char '\n' d1
+       |> List.exists (fun l -> String.length l >= 2 && String.sub l 0 2 = "rx")
+    )
+
 (* --------------------------- campaign smoke ------------------------ *)
 
 let test_campaign_smoke () =
@@ -300,4 +338,6 @@ let suite =
       test_corpus_replays_clean;
     Alcotest.test_case "domains jobs-invariant" `Slow
       test_domains_jobs_invariant;
+    Alcotest.test_case "fat-tree domains jobs-invariant" `Quick
+      test_fat_tree_domains_jobs_invariant;
     Alcotest.test_case "campaign smoke" `Quick test_campaign_smoke ]

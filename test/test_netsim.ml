@@ -433,6 +433,123 @@ let test_routing_remove_restore_port () =
   | Switch.Forward p -> checki "static back to first port" 0 p
   | _ -> Alcotest.fail "expected forward after restore"
 
+(* qcheck: the dense address-indexed table is observationally
+   equivalent to the naive hashtable model it replaced — same live
+   port sets, same ecmp picks (salt 0 = raw flow_hash mod n), same
+   spray sequences — under arbitrary add/remove/restore interleavings. *)
+let prop_routing_matches_model =
+  let apply_model tbl removed (op, addr, port) =
+    match op with
+    | 0 ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl addr) in
+      Hashtbl.replace tbl addr (prev @ [ port ])
+    | 1 -> removed.(port) <- true
+    | _ -> removed.(port) <- false
+  in
+  let apply_real r (op, addr, port) =
+    match op with
+    | 0 -> Routing.add r addr port
+    | 1 -> Routing.remove_port r port
+    | _ -> Routing.restore_port r port
+  in
+  QCheck.Test.make ~name:"dense routing matches hashtable model" ~count:300
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 40)
+        (triple (int_range 0 2) (int_range 0 9) (int_range 0 3)))
+    (fun ops ->
+      let r = Routing.create () in
+      let tbl = Hashtbl.create 16 in
+      let removed = Array.make 4 false in
+      List.iter
+        (fun op ->
+          apply_real r op;
+          apply_model tbl removed op)
+        ops;
+      let ok = ref true in
+      for dst = 0 to 9 do
+        let live =
+          Option.value ~default:[] (Hashtbl.find_opt tbl dst)
+          |> List.filter (fun p -> not removed.(p))
+        in
+        let n = List.length live in
+        if Array.to_list (Routing.ports_for r dst) <> live then ok := false;
+        (* ecmp: salt 0 must reproduce raw [flow_hash mod n]. *)
+        for hash = 0 to 6 do
+          let expect =
+            if n = 0 then Switch.Drop
+            else Switch.Forward (List.nth live (hash mod n))
+          in
+          if Routing.ecmp r (pkt ~dst ~flow_hash:hash ()) <> expect then
+            ok := false
+        done;
+        (* spray: a per-destination counter walking the live set. *)
+        for turn = 0 to (2 * n) - 1 do
+          if
+            Routing.spray r (pkt ~dst ())
+            <> Switch.Forward (List.nth live (turn mod n))
+          then ok := false
+        done
+      done;
+      !ok)
+
+let test_routing_add_range_shares_entry () =
+  let r = Routing.create () in
+  Routing.add_range r ~lo:10 ~hi:19 1;
+  Routing.add_range r ~lo:10 ~hi:19 2 (* identical interval: multipath *);
+  Alcotest.(check (list int))
+    "both ports at lo" [ 1; 2 ]
+    (Array.to_list (Routing.ports_for r 10));
+  Alcotest.(check (list int))
+    "both ports at hi" [ 1; 2 ]
+    (Array.to_list (Routing.ports_for r 19));
+  checki "outside range unknown" 0 (Array.length (Routing.ports_for r 20));
+  (* One shared spray counter across the whole interval. *)
+  (match Routing.spray r (pkt ~dst:10 ()) with
+  | Switch.Forward p -> checki "spray first" 1 p
+  | _ -> Alcotest.fail "expected forward");
+  (match Routing.spray r (pkt ~dst:15 ()) with
+  | Switch.Forward p -> checki "spray shared counter advanced" 2 p
+  | _ -> Alcotest.fail "expected forward");
+  (* Overlaps are build bugs and refuse loudly. *)
+  (match Routing.add_range r ~lo:15 ~hi:25 3 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "overlapping range must raise");
+  (match Routing.add r 12 3 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "per-address add inside a range must raise");
+  (* Removals apply to interval entries like any other. *)
+  Routing.remove_port r 1;
+  Alcotest.(check (list int))
+    "removal filters interval" [ 2 ]
+    (Array.to_list (Routing.ports_for r 13));
+  Routing.restore_port r 1;
+  Alcotest.(check (list int))
+    "restore refills interval" [ 1; 2 ]
+    (Array.to_list (Routing.ports_for r 13))
+
+let test_routing_ecmp_salt_decorrelates () =
+  (* Same registrations, same flows: a salted table must not mirror
+     the unsalted pick on every flow (that correlation is exactly what
+     collapses fat-tree path diversity). *)
+  let plain = Routing.create () in
+  let salted = Routing.create ~salt:(Topology.fabric_salt 1) () in
+  List.iter
+    (fun r ->
+      Routing.add r 5 0;
+      Routing.add r 5 1)
+    [ plain; salted ];
+  let diverged = ref false in
+  for hash = 1 to 64 do
+    let p = pkt ~dst:5 ~flow_hash:hash () in
+    if Routing.ecmp_port plain p <> Routing.ecmp_port salted p then
+      diverged := true;
+    (* Still deterministic per flow. *)
+    checki "salted sticky" (Routing.ecmp_port salted p)
+      (Routing.ecmp_port salted p)
+  done;
+  checkb "salted table diverges from raw mod" true !diverged
+
 (* ----------------------------- Topology ---------------------------- *)
 
 let test_host_pair_roundtrip () =
@@ -619,6 +736,127 @@ let test_leaf_spine_ecmp_spreads_uplinks () =
         true
         (Link.bytes_sent link > 0))
     ls.Topology.ls_uplinks.(0)
+
+let mk_fat_tree ?(k = 4) () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let ft =
+    Topology.fat_tree topo ~k ~host_rate:(Engine.Time.gbps 10)
+      ~fabric_rate:(Engine.Time.gbps 10) ~delay:(Engine.Time.us 1) ()
+  in
+  (sim, ft)
+
+let test_fat_tree_structure () =
+  let _, ft = mk_fat_tree () in
+  checki "hosts = k^3/4" 16 (Array.length ft.Topology.ft_hosts);
+  checki "edges = k^2/2" 8 (Array.length ft.Topology.ft_edges);
+  checki "aggs = k^2/2" 8 (Array.length ft.Topology.ft_aggs);
+  checki "cores = (k/2)^2" 4 (Array.length ft.Topology.ft_cores);
+  (* Addresses are dense and pod-major from ft_base. *)
+  Array.iteri
+    (fun i h -> checki "dense addressing" (ft.Topology.ft_base + i) (Node.addr h))
+    ft.Topology.ft_hosts;
+  match Topology.fat_tree (Topology.create psim) ~k:3
+          ~host_rate:(Engine.Time.gbps 1) ~fabric_rate:(Engine.Time.gbps 1)
+          ~delay:(Engine.Time.us 1) ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "odd k must raise"
+
+let test_fat_tree_connectivity () =
+  let sim, ft = mk_fat_tree () in
+  let n = Array.length ft.Topology.ft_hosts in
+  let got = Array.make n 0 in
+  Array.iteri
+    (fun i h -> Node.set_handler h (fun _ -> got.(i) <- got.(i) + 1))
+    ft.Topology.ft_hosts;
+  Array.iter
+    (fun src ->
+      Array.iter
+        (fun dst ->
+          if Node.addr src <> Node.addr dst then
+            Node.send src (pkt ~src:(Node.addr src) ~dst:(Node.addr dst) ()))
+        ft.Topology.ft_hosts)
+    ft.Topology.ft_hosts;
+  Engine.Sim.run sim;
+  Array.iteri
+    (fun i c -> checki (Printf.sprintf "host %d full mesh" i) (n - 1) c)
+    got
+
+let test_fat_tree_hop_counts () =
+  (* Switch traversals per delivery: 1 same-edge, 3 same-pod, 5
+     inter-pod — the three-tier path-length invariant. *)
+  let sim, ft = mk_fat_tree () in
+  Array.iter (fun h -> Node.set_handler h (fun _ -> ())) ft.Topology.ft_hosts;
+  let all_switches =
+    Array.concat
+      [ ft.Topology.ft_edges; ft.Topology.ft_aggs; ft.Topology.ft_cores ]
+  in
+  let traversals () =
+    Array.fold_left (fun a sw -> a + Switch.received sw) 0 all_switches
+  in
+  let hops src dst =
+    let before = traversals () in
+    Node.send
+      ft.Topology.ft_hosts.(src)
+      (pkt
+         ~src:(Node.addr ft.Topology.ft_hosts.(src))
+         ~dst:(Node.addr ft.Topology.ft_hosts.(dst))
+         ());
+    Engine.Sim.run sim;
+    traversals () - before
+  in
+  checki "same edge: 1 switch" 1 (hops 0 1);
+  checki "same pod: edge-agg-edge" 3 (hops 0 2);
+  checki "inter-pod: edge-agg-core-agg-edge" 5 (hops 0 15)
+
+let test_fat_tree_ecmp_uses_all_cores () =
+  (* (k/2)^2 distinct inter-pod paths, one per core: enough flows from
+     one host pair must light up every core — the decorrelated-salt
+     guarantee (raw per-hop [flow_hash mod n] collapses this to k/2). *)
+  let sim, ft = mk_fat_tree () in
+  Array.iter (fun h -> Node.set_handler h (fun _ -> ())) ft.Topology.ft_hosts;
+  let src = ft.Topology.ft_hosts.(0) and dst = ft.Topology.ft_hosts.(15) in
+  for flow = 1 to 256 do
+    Node.send src
+      (pkt ~src:(Node.addr src) ~dst:(Node.addr dst) ~flow_hash:(flow * 7919)
+         ())
+  done;
+  Engine.Sim.run sim;
+  Array.iteri
+    (fun c core ->
+      checkb
+        (Printf.sprintf "core %d on some path" c)
+        true
+        (Switch.received core > 0))
+    ft.Topology.ft_cores
+
+let test_multi_leaf_spine_connectivity () =
+  let sim = Engine.Sim.create () in
+  let topo = Topology.create sim in
+  let mt =
+    Topology.multi_leaf_spine topo ~pods:2 ~leaves:2 ~spines:2 ~supers:2
+      ~hosts_per_leaf:2 ~host_rate:(Engine.Time.gbps 10)
+      ~fabric_rate:(Engine.Time.gbps 10) ~delay:(Engine.Time.us 1) ()
+  in
+  let n = Array.length mt.Topology.mt_hosts in
+  checki "hosts = pods*leaves*hpl" 8 n;
+  let got = Array.make n 0 in
+  Array.iteri
+    (fun i h -> Node.set_handler h (fun _ -> got.(i) <- got.(i) + 1))
+    mt.Topology.mt_hosts;
+  Array.iter
+    (fun src ->
+      Array.iter
+        (fun dst ->
+          if Node.addr src <> Node.addr dst then
+            Node.send src (pkt ~src:(Node.addr src) ~dst:(Node.addr dst) ()))
+        mt.Topology.mt_hosts)
+    mt.Topology.mt_hosts;
+  Engine.Sim.run sim;
+  Array.iteri
+    (fun i c -> checki (Printf.sprintf "host %d full mesh" i) (n - 1) c)
+    got
 
 (* ------------------------------ Monitor ---------------------------- *)
 
@@ -887,6 +1125,11 @@ let suite =
       test_routing_selectors_unknown_and_single;
     Alcotest.test_case "routing remove/restore" `Quick
       test_routing_remove_restore_port;
+    QCheck_alcotest.to_alcotest prop_routing_matches_model;
+    Alcotest.test_case "routing add_range" `Quick
+      test_routing_add_range_shares_entry;
+    Alcotest.test_case "routing ecmp salt" `Quick
+      test_routing_ecmp_salt_decorrelates;
     Alcotest.test_case "host pair" `Quick test_host_pair_roundtrip;
     Alcotest.test_case "dumbbell" `Quick test_dumbbell_connectivity;
     Alcotest.test_case "dumbbell reverse" `Quick test_dumbbell_reverse_path;
@@ -897,6 +1140,14 @@ let suite =
       test_leaf_spine_connectivity;
     Alcotest.test_case "leaf-spine ecmp" `Quick
       test_leaf_spine_ecmp_spreads_uplinks;
+    Alcotest.test_case "fat-tree structure" `Quick test_fat_tree_structure;
+    Alcotest.test_case "fat-tree connectivity" `Quick
+      test_fat_tree_connectivity;
+    Alcotest.test_case "fat-tree hop counts" `Quick test_fat_tree_hop_counts;
+    Alcotest.test_case "fat-tree ecmp cores" `Quick
+      test_fat_tree_ecmp_uses_all_cores;
+    Alcotest.test_case "multi-tier leaf-spine connectivity" `Quick
+      test_multi_leaf_spine_connectivity;
     Alcotest.test_case "tracer taps" `Quick test_tracer_records_link_and_switch;
     Alcotest.test_case "tracer protocols" `Quick test_tracer_describes_protocols;
     Alcotest.test_case "tracer bounded" `Quick test_tracer_bounded;
